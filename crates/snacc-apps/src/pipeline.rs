@@ -1,0 +1,693 @@
+//! The FPGA case-study pipeline (paper Fig 5).
+//!
+//! Dataflow: 100 G Ethernet RX → RX bridge → database controller, which
+//! tees the stream: original image bytes go to the storage sink, while
+//! the classification path (downscaler PE → FINN-style classifier PE)
+//! produces one record per image; records are packed into 4 KiB pages
+//! and stored alongside the images. Backpressure propagates from the
+//! storage sink all the way to the Ethernet sender via 802.3x PAUSE.
+//!
+//! The same pipeline front drives three storage backends through
+//! [`CaseSink`]: the SNAcc streamer (autonomous, Sec 6.1 "FPGA"), the
+//! SPDK host path ([`crate::spdk_ref`]), and — with a different front —
+//! the GPU reference ([`crate::gpu`]).
+
+use crate::images::{
+    classify, downscale, generate_image, ImageFormat, ImageHeader, HEADER_BYTES,
+};
+use snacc_core::streamer::UserPorts;
+use snacc_fpga::axis::{self, AxisChannel, StreamBeat};
+use snacc_net::frame::{EthFrame, MacAddr};
+use snacc_net::mac::{self, EthMac, MacConfig};
+use snacc_sim::{Engine, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Case-study parameters.
+#[derive(Clone, Debug)]
+pub struct CaseStudyConfig {
+    /// Number of frames to stream (the paper uses 16384).
+    pub images: u64,
+    /// Classifier throughput in frames/s (FINN MobileNet-V1 class).
+    pub classifier_fps: f64,
+    /// Classifier input FIFO depth in images.
+    pub classifier_fifo: usize,
+    /// SSD byte address of the image table.
+    pub image_table: u64,
+    /// SSD byte address of the classification-record table.
+    pub record_table: u64,
+    /// Ethernet frame payload (jumbo frames on the capture link).
+    pub frame_payload: usize,
+}
+
+impl Default for CaseStudyConfig {
+    fn default() -> Self {
+        CaseStudyConfig {
+            images: 16384,
+            classifier_fps: 3000.0,
+            classifier_fifo: 4,
+            image_table: 0,
+            record_table: 1 << 40, // 1 TB mark: far from the image table
+            frame_payload: 8192,
+        }
+    }
+}
+
+/// Bytes reserved per image in the image table (page-aligned slot).
+pub fn image_slot_bytes(fmt: ImageFormat) -> u64 {
+    (fmt.bytes() as u64).div_ceil(4096) * 4096
+}
+
+/// A classification record (16 B, 256 per table page).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassRecord {
+    /// Frame id.
+    pub id: u64,
+    /// Predicted class.
+    pub class: u32,
+    /// Ground truth (carried for verification).
+    pub truth: u32,
+}
+
+impl ClassRecord {
+    /// Encode to the 16-byte table format.
+    pub fn encode(&self) -> [u8; 16] {
+        let mut b = [0u8; 16];
+        b[0..8].copy_from_slice(&self.id.to_le_bytes());
+        b[8..12].copy_from_slice(&self.class.to_le_bytes());
+        b[12..16].copy_from_slice(&self.truth.to_le_bytes());
+        b
+    }
+
+    /// Decode from the table format.
+    pub fn decode(b: &[u8]) -> ClassRecord {
+        ClassRecord {
+            id: u64::from_le_bytes(b[0..8].try_into().unwrap()),
+            class: u32::from_le_bytes(b[8..12].try_into().unwrap()),
+            truth: u32::from_le_bytes(b[12..16].try_into().unwrap()),
+        }
+    }
+}
+
+/// Storage backend abstraction for the database controller.
+pub trait CaseSink {
+    /// Begin a write transfer of `len` bytes at SSD address `addr`.
+    /// Returns `false` when the sink cannot accept a new transfer yet.
+    fn begin(&mut self, en: &mut Engine, addr: u64, len: u64) -> bool;
+    /// Push payload bytes of the current transfer (`last` closes it).
+    /// Returns `false` on backpressure — retry after a wake.
+    fn push(&mut self, en: &mut Engine, data: Vec<u8>, last: bool) -> bool;
+    /// Transfers fully persisted.
+    fn completed(&self) -> u64;
+    /// Install the wake callback (sink has space again / made progress).
+    fn set_wake(&mut self, wake: Rc<RefCell<dyn FnMut(&mut Engine)>>);
+}
+
+/// [`CaseSink`] over the SNAcc streamer's user ports.
+pub struct StreamerSink {
+    ports: UserPorts,
+    responses: Rc<RefCell<u64>>,
+}
+
+impl StreamerSink {
+    /// Wrap the streamer's write interfaces.
+    pub fn new(en: &mut Engine, ports: UserPorts) -> Self {
+        let responses = Rc::new(RefCell::new(0u64));
+        let r2 = responses.clone();
+        let resp_ch = ports.wr_resp.clone();
+        // Popping responses can re-arm the streamer's retirement (its
+        // space hook), which may push more responses — defer through the
+        // event queue so the hook never re-enters itself.
+        ports.wr_resp.borrow_mut().set_data_hook(move |en| {
+            let ch = resp_ch.clone();
+            let r = r2.clone();
+            en.schedule_now(move |en| {
+                while axis::pop(&ch, en).is_some() {
+                    *r.borrow_mut() += 1;
+                }
+            });
+        });
+        let _ = en;
+        StreamerSink { ports, responses }
+    }
+}
+
+impl CaseSink for StreamerSink {
+    fn begin(&mut self, en: &mut Engine, addr: u64, _len: u64) -> bool {
+        let beat = StreamBeat::mid(addr.to_le_bytes().to_vec());
+        axis::push(&self.ports.wr_in, en, beat)
+    }
+
+    fn push(&mut self, en: &mut Engine, data: Vec<u8>, last: bool) -> bool {
+        axis::push(&self.ports.wr_in, en, StreamBeat { data, last })
+    }
+
+    fn completed(&self) -> u64 {
+        *self.responses.borrow()
+    }
+
+    fn set_wake(&mut self, wake: Rc<RefCell<dyn FnMut(&mut Engine)>>) {
+        let w = wake.clone();
+        self.ports
+            .wr_in
+            .borrow_mut()
+            .set_space_hook(move |en| (w.borrow_mut())(en));
+    }
+}
+
+/// The database controller + classification path, driving a [`CaseSink`].
+pub struct DbController<S: CaseSink> {
+    cfg: CaseStudyConfig,
+    rx: Rc<RefCell<AxisChannel>>,
+    sink: S,
+    inbuf: VecDeque<u8>,
+    state: DbState,
+    /// Image bytes being accumulated for the classification tee.
+    tee: Vec<u8>,
+    /// Images queued at the classifier (bounded FIFO).
+    classifier_queue: usize,
+    classifier_free_at: SimTime,
+    /// Memoised classification by image-content key.
+    memo: HashMap<u64, u32>,
+    /// Packed records awaiting a page flush.
+    record_page: Vec<u8>,
+    record_pages_written: u64,
+    /// Total bytes consumed from the RX stream (diagnostic).
+    taken_total: u64,
+    /// Totals.
+    pub images_stored: u64,
+    pub records: Vec<ClassRecord>,
+    transfers_begun: u64,
+    busy: bool,
+}
+
+enum DbState {
+    Header,
+    /// (header, remaining payload bytes, transfer begun?)
+    Image(ImageHeader, u64, bool),
+    /// Pending record-page flush of this many bytes.
+    FlushRecords(Option<Vec<u8>>),
+}
+
+impl<S: CaseSink + 'static> DbController<S> {
+    /// Build the controller and arm its hooks.
+    pub fn start(
+        _en: &mut Engine,
+        cfg: CaseStudyConfig,
+        rx: Rc<RefCell<AxisChannel>>,
+        sink: S,
+    ) -> Rc<RefCell<DbController<S>>> {
+        let ctl = Rc::new(RefCell::new(DbController {
+            cfg,
+            rx: rx.clone(),
+            inbuf: VecDeque::new(),
+            state: DbState::Header,
+            tee: Vec::new(),
+            classifier_queue: 0,
+            classifier_free_at: SimTime::ZERO,
+            memo: HashMap::new(),
+            record_page: Vec::new(),
+            record_pages_written: 0,
+            taken_total: 0,
+            images_stored: 0,
+            records: Vec::new(),
+            transfers_begun: 0,
+            busy: false,
+            sink,
+        }));
+        // Hooks: new RX data and sink space both re-pump. Both hooks can
+        // fire while the controller is mid-step (its own pops/pushes
+        // trigger them), so they defer through the event queue instead of
+        // re-entering synchronously.
+        let c1 = ctl.clone();
+        rx.borrow_mut().set_data_hook(move |en| {
+            let c = c1.clone();
+            en.schedule_now(move |en| Self::pump(&c, en));
+        });
+        let c2 = ctl.clone();
+        let wake: Rc<RefCell<dyn FnMut(&mut Engine)>> =
+            Rc::new(RefCell::new(move |en: &mut Engine| {
+                let c = c2.clone();
+                en.schedule_now(move |en| Self::pump(&c, en));
+            }));
+        ctl.borrow_mut().sink.set_wake(wake);
+        ctl
+    }
+
+    /// Record pages flushed to the record table.
+    pub fn record_pages_written(&self) -> u64 {
+        self.record_pages_written
+    }
+
+    /// Transfers handed to the sink.
+    pub fn transfers_begun(&self) -> u64 {
+        self.transfers_begun
+    }
+
+    /// Completed transfers at the sink.
+    pub fn sink_completed(&self) -> u64 {
+        self.sink.completed()
+    }
+
+    fn refill(&mut self, en: &mut Engine, want: usize) {
+        while self.inbuf.len() < want {
+            let beat = {
+                let rx = self.rx.clone();
+                axis::pop(&rx, en)
+            };
+            match beat {
+                Some(b) => self.inbuf.extend(b.data),
+                None => break,
+            }
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Vec<u8> {
+        self.taken_total += n as u64;
+        self.inbuf.drain(..n).collect()
+    }
+
+    /// Drive the state machine as far as currently possible.
+    pub fn pump(rc: &Rc<RefCell<DbController<S>>>, en: &mut Engine) {
+        if rc.borrow().busy {
+            return;
+        }
+        rc.borrow_mut().busy = true;
+        loop {
+            let progressed = Self::step(rc, en);
+            if !progressed {
+                break;
+            }
+        }
+        rc.borrow_mut().busy = false;
+    }
+
+    /// One state-machine step; returns whether progress was made.
+    fn step(rc: &Rc<RefCell<DbController<S>>>, en: &mut Engine) -> bool {
+        let mut c = rc.borrow_mut();
+        match &mut c.state {
+            DbState::Header => {
+                // Backpressure point: do not start a new image while the
+                // classifier FIFO is full.
+                if c.classifier_queue >= c.cfg.classifier_fifo {
+                    return false;
+                }
+                c.refill(en, HEADER_BYTES);
+                if c.inbuf.len() < HEADER_BYTES {
+                    return false;
+                }
+                let hdr_bytes = c.take(HEADER_BYTES);
+                let hdr = match ImageHeader::decode(&hdr_bytes) {
+                    Some(h) => h,
+                    None => {
+                        panic!(
+                            "header desync after {} images ({} record pages): taken={} expect={} bytes {:02x?}",
+                            c.images_stored,
+                            c.record_pages_written,
+                            c.taken_total,
+                            c.images_stored * (9_437_184 + 20) + 20,
+                            &hdr_bytes
+                        );
+                    }
+                };
+                let fmt = ImageFormat::capture();
+                assert_eq!(hdr.len as usize, fmt.bytes(), "unexpected frame size");
+                c.tee.clear();
+                c.tee.reserve(hdr.len as usize);
+                c.state = DbState::Image(hdr, hdr.len as u64, false);
+                true
+            }
+            DbState::Image(hdr, remaining, begun) => {
+                let hdr = *hdr;
+                if !*begun {
+                    let slot = image_slot_bytes(ImageFormat::capture());
+                    let addr = c.cfg.image_table + hdr.id * slot;
+                    let len = hdr.len as u64;
+                    if !c.sink.begin(en, addr, len) {
+                        return false;
+                    }
+                    let DbState::Image(_, _, begun) = &mut c.state else {
+                        unreachable!()
+                    };
+                    *begun = true;
+                    c.transfers_begun += 1;
+                    return true;
+                }
+                // Forward up to 16 KiB of payload.
+                let rem = *remaining;
+                c.refill(en, 16384.min(rem as usize));
+                let n = (c.inbuf.len() as u64).min(rem).min(16384);
+                if n == 0 {
+                    return false;
+                }
+                let chunk = c.take(n as usize);
+                let last = n == rem;
+                // Tee: keep bytes for the classification path.
+                c.tee.extend_from_slice(&chunk);
+                if !c.sink.push(en, chunk, last) {
+                    // Refused: put the bytes back (front) and retry later.
+                    let tail_start = c.tee.len() - n as usize;
+                    let mut cdata = c.tee.split_off(tail_start);
+                    for b in cdata.drain(..).rev() {
+                        c.inbuf.push_front(b);
+                    }
+                    return false;
+                }
+                let DbState::Image(_, remaining, _) = &mut c.state else {
+                    unreachable!()
+                };
+                *remaining -= n;
+                if *remaining > 0 {
+                    return true;
+                }
+                // Image complete: classify (tee path) and store the record.
+                c.images_stored += 1;
+                c.classifier_queue += 1;
+                let tee = std::mem::take(&mut c.tee);
+                let key = content_key(&tee);
+                let class = match c.memo.get(&key) {
+                    Some(&cl) => cl,
+                    None => {
+                        let small =
+                            downscale(&tee, ImageFormat::capture(), ImageFormat::classify());
+                        let cl = classify(&small, ImageFormat::classify());
+                        c.memo.insert(key, cl);
+                        cl
+                    }
+                };
+                drop(tee);
+                // The classifier PE finishes one image per 1/fps.
+                let svc = SimDuration::from_us_f64(1e6 / c.cfg.classifier_fps);
+                let start = c.classifier_free_at.max(en.now());
+                c.classifier_free_at = start + svc;
+                let rc2 = rc.clone();
+                en.schedule_at(c.classifier_free_at, move |en| {
+                    rc2.borrow_mut().classifier_queue -= 1;
+                    Self::pump(&rc2, en);
+                });
+                let rec = ClassRecord {
+                    id: hdr.id,
+                    class,
+                    truth: hdr.truth,
+                };
+                c.records.push(rec);
+                c.record_page.extend_from_slice(&rec.encode());
+                if c.record_page.len() >= 4096 {
+                    let page = std::mem::take(&mut c.record_page);
+                    c.state = DbState::FlushRecords(Some(page));
+                } else {
+                    c.state = DbState::Header;
+                }
+                true
+            }
+            DbState::FlushRecords(page) => {
+                let data = page.take().expect("flush pending");
+                let addr = c.cfg.record_table + c.record_pages_written * 4096;
+                if !c.sink.begin(en, addr, data.len() as u64) {
+                    let DbState::FlushRecords(p) = &mut c.state else {
+                        unreachable!()
+                    };
+                    *p = Some(data);
+                    return false;
+                }
+                c.transfers_begun += 1;
+                let ok = c.sink.push(en, data, true);
+                assert!(ok, "record page push after begin must fit");
+                c.record_pages_written += 1;
+                c.state = DbState::Header;
+                true
+            }
+        }
+    }
+}
+
+/// Cheap content key for classification memoisation (samples the image).
+fn content_key(img: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let step = (img.len() / 512).max(1);
+    for i in (0..img.len()).step_by(step) {
+        h ^= img[i] as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ img.len() as u64
+}
+
+/// The Ethernet image source: a second FPGA streaming frames at line rate
+/// (paper Sec 6.1: "sent by another FPGA as transmitter in our setup").
+pub struct ImageSender {
+    mac: Rc<RefCell<EthMac>>,
+    dst: MacAddr,
+    cfg: CaseStudyConfig,
+    next_id: u64,
+    /// (wire bytes of current image, position).
+    current: Option<(Rc<Vec<u8>>, usize)>,
+    /// Per-class cached wire images (header is patched per frame).
+    cache: HashMap<u64, Rc<Vec<u8>>>,
+    pub finished_at: Option<SimTime>,
+}
+
+impl ImageSender {
+    /// Create and start the sender.
+    pub fn start(
+        en: &mut Engine,
+        mac_rc: Rc<RefCell<EthMac>>,
+        dst: MacAddr,
+        cfg: CaseStudyConfig,
+    ) -> Rc<RefCell<ImageSender>> {
+        let s = Rc::new(RefCell::new(ImageSender {
+            mac: mac_rc.clone(),
+            dst,
+            cfg,
+            next_id: 0,
+            current: None,
+            cache: HashMap::new(),
+            finished_at: None,
+        }));
+        let s2 = s.clone();
+        mac_rc
+            .borrow_mut()
+            .set_tx_space_hook(move |en| ImageSender::kick(&s2, en));
+        ImageSender::kick(&s, en);
+        s
+    }
+
+    fn wire_image(&mut self, id: u64) -> Rc<Vec<u8>> {
+        let class = id % crate::images::NUM_CLASSES as u64;
+        let body = self.cache.entry(class).or_insert_with(|| {
+            let (_, px) = generate_image(ImageFormat::capture(), class);
+            Rc::new(px)
+        });
+        // Header is per-frame; body is the cached class pattern. The
+        // generator keys its pattern (and truth) on id % classes, so the
+        // cached body is bit-identical to generate_image(id).
+        let hdr = ImageHeader {
+            id,
+            len: body.len() as u32,
+            truth: class as u32,
+        };
+        let mut wire = Vec::with_capacity(HEADER_BYTES + body.len());
+        wire.extend_from_slice(&hdr.encode());
+        wire.extend_from_slice(body);
+        Rc::new(wire)
+    }
+
+    /// Push frames while the MAC accepts them.
+    pub fn kick(rc: &Rc<RefCell<ImageSender>>, en: &mut Engine) {
+        loop {
+            let frame = {
+                let mut s = rc.borrow_mut();
+                if s.current.is_none() {
+                    if s.next_id >= s.cfg.images {
+                        if s.finished_at.is_none() {
+                            s.finished_at = Some(en.now());
+                        }
+                        return;
+                    }
+                    let id = s.next_id;
+                    s.next_id += 1;
+                    let w = s.wire_image(id);
+                    s.current = Some((w, 0));
+                }
+                let (w, pos) = s.current.clone().expect("current set");
+                let n = s.cfg.frame_payload.min(w.len() - pos);
+                let payload = w[pos..pos + n].to_vec();
+                let src = s.mac.borrow().addr();
+                let f = EthFrame::data(s.dst, src, payload);
+                // Advance tentatively.
+                if pos + n == w.len() {
+                    s.current = None;
+                } else {
+                    s.current = Some((w.clone(), pos + n));
+                }
+                (f, w, pos, n)
+            };
+            let (f, w, pos, n) = frame;
+            let mac_rc = rc.borrow().mac.clone();
+            if !mac::send(&mac_rc, en, f) {
+                // Refused: roll back.
+                let mut s = rc.borrow_mut();
+                s.current = Some((w, pos));
+                let _ = n;
+                return;
+            }
+        }
+    }
+}
+
+/// RX bridge: MAC frames → AXIS byte stream, with backpressure (frames
+/// stay in the MAC RX buffer — and eventually PAUSE the sender — when the
+/// pipeline stalls).
+pub struct RxBridge;
+
+impl RxBridge {
+    /// Install the bridge between `mac` and `out`.
+    pub fn install(en: &mut Engine, mac_rc: Rc<RefCell<EthMac>>, out: Rc<RefCell<AxisChannel>>) {
+        let m2 = mac_rc.clone();
+        let o2 = out.clone();
+        let pump = Rc::new(RefCell::new(move |en: &mut Engine| loop {
+            let len = match m2.borrow().rx_peek_bytes() {
+                Some(l) => l as usize,
+                None => return,
+            };
+            if !o2.borrow().has_space(len) {
+                return;
+            }
+            let Some(frame) = mac::pop_frame(&m2, en) else {
+                return;
+            };
+            let ok = axis::push(&o2, en, StreamBeat::mid(frame.payload));
+            debug_assert!(ok);
+        }));
+        let p1 = pump.clone();
+        mac_rc
+            .borrow_mut()
+            .set_rx_hook(move |en| (p1.borrow_mut())(en));
+        let p2 = pump.clone();
+        out.borrow_mut()
+            .set_space_hook(move |en| (p2.borrow_mut())(en));
+        let _ = en;
+    }
+}
+
+/// Results of a case-study run.
+#[derive(Clone, Debug)]
+pub struct CaseStudyReport {
+    /// Images persisted.
+    pub images: u64,
+    /// Payload bytes persisted (images only).
+    pub image_bytes: u64,
+    /// Wall simulated time from first frame to last persisted transfer.
+    pub elapsed: SimDuration,
+    /// Storage bandwidth (image payload / elapsed) in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Frames per second.
+    pub fps: f64,
+    /// Classifications matching ground truth.
+    pub correct: u64,
+    /// Total classifications.
+    pub classified: u64,
+    /// PCIe bytes moved during the run (Fig 7 metric; caller resets
+    /// meters before the run).
+    pub pcie_bytes: u64,
+}
+
+/// Wire the common pipeline front (100 G link, RX bridge, database
+/// controller + classification path, image sender) over an arbitrary
+/// storage sink. The caller runs the engine and builds the report.
+pub fn run_case_study_front<S: CaseSink + 'static>(
+    en: &mut Engine,
+    cfg: CaseStudyConfig,
+    sink: S,
+) -> (Rc<RefCell<DbController<S>>>, Rc<RefCell<ImageSender>>) {
+    let tx = EthMac::new("tx-fpga", MacAddr::from_index(1), MacConfig::eth_100g(), 101);
+    let rx = EthMac::new("rx-fpga", MacAddr::from_index(2), MacConfig::eth_100g(), 102);
+    mac::connect(&tx, &rx);
+    let rx_ch = AxisChannel::new("rx-stream", 256 << 10);
+    RxBridge::install(en, rx.clone(), rx_ch.clone());
+    let ctl = DbController::start(en, cfg.clone(), rx_ch, sink);
+    let sender = ImageSender::start(en, tx, MacAddr::from_index(2), cfg);
+    (ctl, sender)
+}
+
+/// Run the SNAcc (FPGA) configuration of the case study on a brought-up
+/// system. Returns the report; the SSD contents can be verified by the
+/// caller.
+pub fn run_snacc_case_study(
+    sys: &mut crate::system::SnaccSystem,
+    cfg: CaseStudyConfig,
+) -> CaseStudyReport {
+    sys.reset_pcie_meters();
+    let start = sys.en.now();
+
+    let sink = StreamerSink::new(&mut sys.en, sys.streamer.ports());
+    let (ctl, _sender) = run_case_study_front(&mut sys.en, cfg.clone(), sink);
+    sys.en.run();
+
+    let end = sys.en.now();
+    let c = ctl.borrow();
+    let expected_transfers = c.transfers_begun();
+    assert_eq!(
+        c.sink_completed(),
+        expected_transfers,
+        "all transfers must persist"
+    );
+    assert_eq!(c.images_stored, cfg.images);
+    let image_bytes = cfg.images * ImageFormat::capture().bytes() as u64;
+    let elapsed = end.since(start);
+    let correct = c
+        .records
+        .iter()
+        .filter(|r| r.class == r.truth)
+        .count() as u64;
+    CaseStudyReport {
+        images: c.images_stored,
+        image_bytes,
+        elapsed,
+        bandwidth_gbps: image_bytes as f64 / 1e9 / elapsed.as_secs_f64(),
+        fps: c.images_stored as f64 / elapsed.as_secs_f64(),
+        correct,
+        classified: c.records.len() as u64,
+        pcie_bytes: sys.pcie_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{SnaccSystem, SystemConfig};
+    use snacc_core::config::StreamerVariant;
+
+    #[test]
+    fn record_roundtrip() {
+        let r = ClassRecord {
+            id: 7,
+            class: 3,
+            truth: 3,
+        };
+        assert_eq!(ClassRecord::decode(&r.encode()), r);
+    }
+
+    #[test]
+    fn small_case_study_end_to_end() {
+        let mut sys = SnaccSystem::bring_up(SystemConfig::snacc(StreamerVariant::Uram));
+        let cfg = CaseStudyConfig {
+            images: 8,
+            ..Default::default()
+        };
+        let report = run_snacc_case_study(&mut sys, cfg.clone());
+        assert_eq!(report.images, 8);
+        assert_eq!(report.classified, 8);
+        assert!(report.correct >= 5, "classifier accuracy {report:?}");
+        assert!(report.bandwidth_gbps > 1.0, "{report:?}");
+        // Verify an image really landed in the database.
+        let slot = image_slot_bytes(ImageFormat::capture());
+        let (_, px) = generate_image(ImageFormat::capture(), 3);
+        let got = sys.nvme.with(|d| {
+            d.nand_mut()
+                .media_mut()
+                .read_vec(cfg.image_table + 3 * slot, 64)
+        });
+        assert_eq!(&got[..], &px[..64]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Full-system builders.
+//!
+//! Everything the paper's testbed contains, assembled in one call:
+//! EPYC-class host (memory + IOMMU), Alveo U280 shell with the SNAcc
+//! plugin, a 990 PRO-class SSD, and optionally a second FPGA acting as the
+//! 100 G traffic source plus an A100-class GPU.
+
+use snacc_core::config::{StreamerConfig, StreamerVariant};
+use snacc_core::hostinit::SnaccHostDriver;
+use snacc_core::plugin::NvmeSubsystem;
+use snacc_core::streamer::StreamerHandle;
+use snacc_fpga::tapasco::TapascoShell;
+use snacc_mem::{AddrRange, HostMemory};
+use snacc_nvme::{NvmeDeviceHandle, NvmeProfile};
+use snacc_pcie::target::HostMemTarget;
+use snacc_pcie::{Iommu, PcieFabric, HOST_NODE};
+use snacc_sim::Engine;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Canonical fabric addresses used by all experiments.
+pub mod layout {
+    /// TaPaSCo BAR0 base.
+    pub const SHELL_BAR: u64 = 0x4_0000_0000;
+    /// NVMe controller BAR0 base.
+    pub const NVME_BAR: u64 = 0x8_0000_0000;
+    /// Host physical memory window.
+    pub const HOST_SPAN: u64 = 8 << 30;
+    /// Dedicated notifying host range for an SPDK completion queue.
+    pub const SPDK_CQ: u64 = 0x9_0000_0000;
+}
+
+/// System construction parameters.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Streamer configuration (variant, depth, retirement policy).
+    pub streamer: StreamerConfig,
+    /// SSD profile.
+    pub nvme: NvmeProfile,
+    /// Enforcing IOMMU (the paper's setup) or passthrough.
+    pub enforce_iommu: bool,
+    /// Simulation seed (tR jitter, workload addresses).
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's setup for a given streamer variant.
+    pub fn snacc(variant: StreamerVariant) -> Self {
+        SystemConfig {
+            streamer: StreamerConfig::snacc(variant),
+            nvme: NvmeProfile::samsung_990pro(),
+            enforce_iommu: true,
+            seed: 0x5aacc,
+        }
+    }
+}
+
+/// A fully brought-up node with a SNAcc streamer.
+pub struct SnaccSystem {
+    /// The event engine.
+    pub en: Engine,
+    /// The PCIe fabric.
+    pub fabric: Rc<RefCell<PcieFabric>>,
+    /// Host DRAM.
+    pub hostmem: Rc<RefCell<HostMemory>>,
+    /// The TaPaSCo shell.
+    pub shell: TapascoShell,
+    /// The SNAcc streamer.
+    pub streamer: StreamerHandle,
+    /// The SSD.
+    pub nvme: NvmeDeviceHandle,
+}
+
+impl SnaccSystem {
+    /// Build and bring up the complete system.
+    pub fn bring_up(cfg: SystemConfig) -> SnaccSystem {
+        let mut en = Engine::new();
+        let mut fabric = PcieFabric::new();
+        if cfg.enforce_iommu {
+            fabric.set_iommu(Iommu::new());
+        }
+        let hostmem = Rc::new(RefCell::new(HostMemory::default()));
+        let t = Rc::new(RefCell::new(HostMemTarget::new(hostmem.clone(), 0)));
+        fabric.map_region(HOST_NODE, AddrRange::new(0, layout::HOST_SPAN), t);
+        let fabric = Rc::new(RefCell::new(fabric));
+
+        let mut shell = TapascoShell::new(fabric.clone(), layout::SHELL_BAR);
+        let mut plugin = NvmeSubsystem::new(cfg.streamer.clone());
+        shell.apply_plugin(&mut en, &mut plugin);
+        let streamer = plugin.streamer();
+
+        let nvme = NvmeDeviceHandle::attach(fabric.clone(), layout::NVME_BAR, cfg.nvme, cfg.seed);
+
+        if cfg.enforce_iommu {
+            // Admin structures live at the start of the pinned pool.
+            fabric
+                .borrow_mut()
+                .iommu_mut()
+                .grant(nvme.node(), AddrRange::new(0x1_0000_0000, 1 << 20));
+        }
+        let mut driver = SnaccHostDriver::new(fabric.clone(), hostmem.clone(), nvme.clone());
+        driver
+            .bring_up(&mut en, &streamer, 1)
+            .expect("SNAcc bring-up");
+
+        SnaccSystem {
+            en,
+            fabric,
+            hostmem,
+            shell,
+            streamer,
+            nvme,
+        }
+    }
+
+    /// Payload bytes transferred over PCIe so far (Fig 7 metric: one
+    /// count per transaction, so P2P = 1×, host staging = 2×).
+    pub fn pcie_bytes(&self) -> u64 {
+        self.fabric.borrow().total_payload_bytes()
+    }
+
+    /// Reset PCIe traffic meters (e.g. after bring-up, before the
+    /// measured phase).
+    pub fn reset_pcie_meters(&mut self) {
+        self.fabric.borrow_mut().reset_meters();
+    }
+}
+
+/// Build a host-only system (no shell/streamer) for SPDK baselines.
+pub struct HostSystem {
+    /// The event engine.
+    pub en: Engine,
+    /// The PCIe fabric (passthrough IOMMU: SPDK uses VFIO with full
+    /// mappings of its pinned pool).
+    pub fabric: Rc<RefCell<PcieFabric>>,
+    /// Host DRAM.
+    pub hostmem: Rc<RefCell<HostMemory>>,
+    /// The SSD.
+    pub nvme: NvmeDeviceHandle,
+}
+
+impl HostSystem {
+    /// Build the host + SSD node.
+    pub fn bring_up(nvme_profile: NvmeProfile, seed: u64) -> HostSystem {
+        let en = Engine::new();
+        let mut fabric = PcieFabric::new();
+        let hostmem = Rc::new(RefCell::new(HostMemory::default()));
+        let t = Rc::new(RefCell::new(HostMemTarget::new(hostmem.clone(), 0)));
+        fabric.map_region(HOST_NODE, AddrRange::new(0, layout::HOST_SPAN), t);
+        let fabric = Rc::new(RefCell::new(fabric));
+        let nvme = NvmeDeviceHandle::attach(fabric.clone(), layout::NVME_BAR, nvme_profile, seed);
+        HostSystem {
+            en,
+            fabric,
+            hostmem,
+            nvme,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_bring_up() {
+        for v in StreamerVariant::all() {
+            let sys = SnaccSystem::bring_up(SystemConfig::snacc(v));
+            assert_eq!(sys.streamer.variant(), v);
+            assert!(sys.pcie_bytes() > 0, "bring-up used the bus");
+        }
+    }
+
+    #[test]
+    fn meters_reset() {
+        let mut sys = SnaccSystem::bring_up(SystemConfig::snacc(StreamerVariant::Uram));
+        assert!(sys.pcie_bytes() > 0);
+        sys.reset_pcie_meters();
+        assert_eq!(sys.pcie_bytes(), 0);
+    }
+
+    #[test]
+    fn host_system_brings_up() {
+        let h = HostSystem::bring_up(NvmeProfile::samsung_990pro(), 1);
+        assert_eq!(h.nvme.bar0_base(), layout::NVME_BAR);
+        let _ = (h.en, h.fabric, h.hostmem);
+    }
+}

@@ -1,0 +1,24 @@
+//! Sec 5.2 note — "SPDK can achieve even higher bandwidth when the
+//! submission queue size is increased": random-read QD sweep.
+
+use rayon::prelude::*;
+use snacc_bench::workloads::{spdk_bandwidth, Dir};
+use snacc_bench::{print_table, BenchRecord};
+
+fn main() {
+    let total: u64 = if std::env::var("SNACC_QUICK").is_ok() {
+        128 << 20
+    } else {
+        512 << 20
+    };
+    let qds = [8u16, 16, 32, 64, 128, 256];
+    let records: Vec<BenchRecord> = qds
+        .par_iter()
+        .map(|&qd| {
+            let bw = spdk_bandwidth(Dir::Read, true, total, qd, 31);
+            BenchRecord::new("ext_qd_sweep", &format!("QD {qd}"), bw, None, "GB/s")
+        })
+        .collect();
+    print_table("SPDK random 4 KiB read vs submission queue depth", &records);
+    snacc_bench::report::save_json(&records);
+}

@@ -1,0 +1,62 @@
+//! Fig 7 — PCIe data transfers in the case study: bytes on the bus per
+//! stored byte, per configuration. URAM / on-board DRAM move the least
+//! (one P2P pass); host-DRAM and SPDK stage through host memory (2×);
+//! the GPU path adds H2D/D2H on top (most).
+
+use snacc_apps::gpu::{run_gpu_case_study, GpuModel};
+use snacc_apps::pipeline::{run_snacc_case_study, CaseStudyConfig};
+use snacc_apps::spdk_ref::run_spdk_case_study;
+use snacc_apps::system::{SnaccSystem, SystemConfig};
+use snacc_bench::{print_table, BenchRecord};
+use snacc_core::config::StreamerVariant;
+
+fn main() {
+    let images: u64 = if std::env::var("SNACC_FULL").is_ok() {
+        16384
+    } else {
+        384
+    };
+    let cfg = CaseStudyConfig {
+        images,
+        ..Default::default()
+    };
+    enum Cfg {
+        Snacc(StreamerVariant),
+        Spdk,
+        Gpu,
+    }
+    // Paper reports relative transfer volume; ~1× for the on-card
+    // variants, ~2× for host staging, most for the GPU.
+    let jobs = vec![
+        ("FPGA (URAM)".to_string(), Cfg::Snacc(StreamerVariant::Uram), 1.0),
+        ("FPGA (On-board DRAM)".to_string(), Cfg::Snacc(StreamerVariant::OnboardDram), 1.0),
+        ("FPGA (Host DRAM)".to_string(), Cfg::Snacc(StreamerVariant::HostDram), 2.0),
+        ("SPDK".to_string(), Cfg::Spdk, 2.0),
+        ("GPU".to_string(), Cfg::Gpu, 2.1),
+    ];
+    let records: Vec<BenchRecord> = jobs
+        .into_iter()
+        .map(|(label, job, paper_ratio)| {
+            let report = match job {
+                Cfg::Snacc(v) => {
+                    let mut sys = SnaccSystem::bring_up(SystemConfig::snacc(v));
+                    let r = run_snacc_case_study(&mut sys, cfg.clone());
+                    sys.nvme.with(|d| d.nand_mut().media_mut().clear());
+                    sys.hostmem.borrow_mut().store_mut().clear();
+                    r
+                }
+                Cfg::Spdk => run_spdk_case_study(cfg.clone(), 7),
+                Cfg::Gpu => run_gpu_case_study(cfg.clone(), GpuModel::default(), 7),
+            };
+            let ratio = report.pcie_bytes as f64 / report.image_bytes as f64;
+            println!(
+                "{label}: {:.2} PCIe bytes per stored byte ({:.1} GB on the bus)",
+                ratio,
+                report.pcie_bytes as f64 / 1e9
+            );
+            BenchRecord::new("fig7", &label, ratio, Some(paper_ratio), "x stored")
+        })
+        .collect();
+    print_table("Fig 7 — PCIe transfer volume per stored byte", &records);
+    snacc_bench::report::save_json(&records);
+}

@@ -1,0 +1,105 @@
+//! Result records and table printing shared by the evaluation binaries.
+
+use serde::Serialize;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One measured value with paper reference for side-by-side reporting.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchRecord {
+    /// Experiment id (e.g. "fig4a").
+    pub experiment: String,
+    /// Row label (e.g. "URAM seq-w").
+    pub label: String,
+    /// Measured value.
+    pub measured: f64,
+    /// Optional secondary value (e.g. min of an alternating pair).
+    pub measured_lo: Option<f64>,
+    /// The paper's reported value, if stated.
+    pub paper: Option<f64>,
+    /// Unit.
+    pub unit: String,
+}
+
+impl BenchRecord {
+    /// Shorthand constructor.
+    pub fn new(
+        experiment: &str,
+        label: &str,
+        measured: f64,
+        paper: Option<f64>,
+        unit: &str,
+    ) -> Self {
+        BenchRecord {
+            experiment: experiment.to_string(),
+            label: label.to_string(),
+            measured,
+            measured_lo: None,
+            paper,
+            unit: unit.to_string(),
+        }
+    }
+
+    /// Attach a lower bound (alternating-bandwidth reporting).
+    pub fn with_lo(mut self, lo: f64) -> Self {
+        self.measured_lo = Some(lo);
+        self
+    }
+}
+
+/// Print an experiment's records as an aligned table with paper values.
+pub fn print_table(title: &str, records: &[BenchRecord]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<28} {:>18} {:>12} {:>8}",
+        "configuration", "measured", "paper", "unit"
+    );
+    for r in records {
+        let measured = match r.measured_lo {
+            Some(lo) => format!("{:.2} / {:.2}", lo, r.measured),
+            None => format!("{:.2}", r.measured),
+        };
+        let paper = r
+            .paper
+            .map(|p| format!("{p:.2}"))
+            .unwrap_or_else(|| "-".to_string());
+        println!("{:<28} {:>18} {:>12} {:>8}", r.label, measured, paper, r.unit);
+    }
+}
+
+/// Append records to `results/<experiment>.json` (machine-readable feed
+/// for EXPERIMENTS.md).
+pub fn save_json(records: &[BenchRecord]) {
+    if records.is_empty() {
+        return;
+    }
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{}.json", records[0].experiment));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = writeln!(f, "{}", serde_json::to_string_pretty(records).unwrap());
+        eprintln!("(saved {})", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_builders() {
+        let r = BenchRecord::new("fig4a", "URAM seq-w", 5.6, Some(5.6), "GB/s").with_lo(5.32);
+        assert_eq!(r.measured_lo, Some(5.32));
+        assert_eq!(r.experiment, "fig4a");
+    }
+
+    #[test]
+    fn print_does_not_panic() {
+        print_table(
+            "t",
+            &[BenchRecord::new("x", "a", 1.0, None, "GB/s")],
+        );
+    }
+}

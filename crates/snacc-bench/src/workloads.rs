@@ -1,0 +1,369 @@
+//! Shared workload drivers for the evaluation binaries.
+
+use snacc_apps::system::{layout, HostSystem, SnaccSystem, SystemConfig};
+use snacc_core::config::StreamerVariant;
+use snacc_core::streamer::encode_read_cmd;
+use snacc_fpga::axis::{self, StreamBeat};
+use snacc_nvme::NvmeProfile;
+use snacc_sim::{SimDuration, SimTime};
+use snacc_spdk::{SpdkConfig, SpdkNvme};
+
+/// Release a system's functional stores. The component graph is an
+/// `Rc`-cycle web (hooks ↔ targets ↔ state), so dropping a system does
+/// not free it; the multi-GiB sparse media would otherwise accumulate
+/// across jobs in one process.
+fn scrub_snacc(sys: &mut SnaccSystem) {
+    sys.nvme.with(|d| d.nand_mut().media_mut().clear());
+    sys.hostmem.borrow_mut().store_mut().clear();
+}
+
+/// Same for a host-only system.
+fn scrub_host(host: &mut HostSystem) {
+    host.nvme.with(|d| d.nand_mut().media_mut().clear());
+    host.hostmem.borrow_mut().store_mut().clear();
+}
+
+/// The I/O direction of a benchmark run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Sequential/random reads.
+    Read,
+    /// Sequential/random writes.
+    Write,
+}
+
+/// Cheap deterministic payload byte for offset `o`.
+#[inline]
+pub fn fill_byte(o: u64) -> u8 {
+    (o ^ (o >> 7) ^ 0x5a) as u8
+}
+
+/// Drive one write transfer through the streamer ports, streaming
+/// generated data chunk-wise with backpressure. Returns when the response
+/// token arrives.
+pub fn streamer_write(sys: &mut SnaccSystem, addr: u64, len: u64) {
+    let ports = sys.streamer.ports();
+    let header = StreamBeat::mid(addr.to_le_bytes().to_vec());
+    while !axis::push(&ports.wr_in, &mut sys.en, header.clone()) {
+        assert!(sys.en.step(), "stalled pushing write header");
+    }
+    let chunk: u64 = 64 << 10;
+    let mut off = 0u64;
+    while off < len {
+        let n = chunk.min(len - off);
+        let mut data = vec![0u8; n as usize];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = fill_byte(addr + off + i as u64);
+        }
+        let beat = StreamBeat {
+            data,
+            last: off + n == len,
+        };
+        let mut beat = Some(beat);
+        loop {
+            let b = beat.take().expect("beat present");
+            if axis::push(&ports.wr_in, &mut sys.en, b.clone()) {
+                break;
+            }
+            beat = Some(b);
+            assert!(sys.en.step(), "stalled pushing write data");
+        }
+        off += n;
+    }
+    while ports.wr_resp.borrow().is_empty() {
+        assert!(sys.en.step(), "no write response");
+    }
+    let _ = axis::pop(&ports.wr_resp, &mut sys.en);
+}
+
+/// Drive one read transfer, draining (and discarding) the data stream.
+pub fn streamer_read(sys: &mut SnaccSystem, addr: u64, len: u64) {
+    let ports = sys.streamer.ports();
+    let cmd = encode_read_cmd(addr, len);
+    while !axis::push(&ports.rd_cmd, &mut sys.en, cmd.clone()) {
+        assert!(sys.en.step(), "stalled pushing read cmd");
+    }
+    let mut got = 0u64;
+    while got < len {
+        match axis::pop(&ports.rd_data, &mut sys.en) {
+            Some(beat) => {
+                got += beat.len() as u64;
+                if beat.last {
+                    break;
+                }
+            }
+            None => assert!(sys.en.step(), "read data stalled"),
+        }
+    }
+    assert_eq!(got, len);
+}
+
+/// Sequential bandwidth through the streamer (Fig 4a): transfers `total`
+/// bytes in 1 GB requests, reporting per-GiB bandwidths (the paper's
+/// alternating write behaviour shows up as distinct per-GiB values).
+pub fn snacc_seq_bandwidth(variant: StreamerVariant, dir: Dir, total: u64) -> Vec<f64> {
+    let mut sys = SnaccSystem::bring_up(SystemConfig::snacc(variant));
+    if dir == Dir::Read {
+        // Pre-populate media (cold data still hits the channel ceiling).
+        sys.nvme.with(|d| d.nand_mut().prewarm(0, total, 0xA5));
+    }
+    let gib = 1u64 << 30;
+    let mut rates = Vec::new();
+    let mut off = 0u64;
+    while off < total {
+        let n = gib.min(total - off);
+        let t0 = sys.en.now();
+        match dir {
+            Dir::Write => streamer_write(&mut sys, off, n),
+            Dir::Read => streamer_read(&mut sys, off, n),
+        }
+        sys.en.run();
+        let dt = sys.en.now().since(t0).as_secs_f64();
+        rates.push(n as f64 / 1e9 / dt);
+        off += n;
+    }
+    scrub_snacc(&mut sys);
+    rates
+}
+
+/// Random 4 KiB bandwidth through the streamer (Fig 4b): `total` bytes in
+/// 4 KiB requests at random offsets within a pre-warmed 1 GiB extent.
+pub fn snacc_rand_bandwidth(variant: StreamerVariant, dir: Dir, total: u64, seed: u64) -> f64 {
+    let mut sys = SnaccSystem::bring_up(SystemConfig::snacc(variant));
+    let span = 1u64 << 30;
+    sys.nvme.with(|d| d.nand_mut().prewarm(0, span, 0x3C));
+    let mut rng = snacc_sim::SimRng::new(seed);
+    let count = total / 4096;
+    let ports = sys.streamer.ports();
+    let t0 = sys.en.now();
+    match dir {
+        Dir::Read => {
+            let mut issued = 0u64;
+            let mut received = 0u64;
+            while received < total {
+                // Keep the command FIFO primed.
+                while issued < count {
+                    let addr = rng.gen_range(span / 4096) * 4096;
+                    let cmd = encode_read_cmd(addr, 4096);
+                    if axis::push(&ports.rd_cmd, &mut sys.en, cmd) {
+                        issued += 1;
+                    } else {
+                        break;
+                    }
+                }
+                match axis::pop(&ports.rd_data, &mut sys.en) {
+                    Some(beat) => received += beat.len() as u64,
+                    None => assert!(sys.en.step(), "random read stalled"),
+                }
+            }
+        }
+        Dir::Write => {
+            let mut done = 0u64;
+            let mut issued = 0u64;
+            let payload: Vec<u8> = (0..4096).map(|i| fill_byte(i as u64)).collect();
+            while done < count {
+                if issued < count && ports.wr_in.borrow().has_space(4096 + 8) {
+                    let addr = rng.gen_range(span / 4096) * 4096;
+                    let hdr = StreamBeat::mid(addr.to_le_bytes().to_vec());
+                    if axis::push(&ports.wr_in, &mut sys.en, hdr) {
+                        let ok = axis::push(
+                            &ports.wr_in,
+                            &mut sys.en,
+                            StreamBeat::last(payload.clone()),
+                        );
+                        assert!(ok, "space was checked for header+payload");
+                        issued += 1;
+                        continue;
+                    }
+                }
+                if axis::pop(&ports.wr_resp, &mut sys.en).is_some() {
+                    done += 1;
+                } else {
+                    assert!(sys.en.step(), "random write stalled");
+                }
+            }
+        }
+    }
+    sys.en.run();
+    let dt = sys.en.now().since(t0).as_secs_f64();
+    scrub_snacc(&mut sys);
+    total as f64 / 1e9 / dt
+}
+
+/// Single 4 KiB access latency through the streamer (Fig 4c), averaged
+/// over `trials` serial accesses. Reads are pre-warmed (the benchmark
+/// reads what it wrote, as the paper's setup does).
+pub fn snacc_latency_us(variant: StreamerVariant, dir: Dir, trials: u32, seed: u64) -> f64 {
+    let mut sys = SnaccSystem::bring_up(SystemConfig::snacc(variant));
+    let span = 256u64 << 20;
+    sys.nvme.with(|d| d.nand_mut().prewarm(0, span, 0x7E));
+    let mut rng = snacc_sim::SimRng::new(seed);
+    let mut sum = 0.0;
+    for _ in 0..trials {
+        let addr = rng.gen_range(span / 4096) * 4096;
+        let t0 = sys.en.now();
+        match dir {
+            Dir::Read => streamer_read(&mut sys, addr, 4096),
+            Dir::Write => streamer_write(&mut sys, addr, 4096),
+        }
+        sys.en.run();
+        sum += sys.en.now().since(t0).as_us_f64();
+    }
+    scrub_snacc(&mut sys);
+    sum / trials as f64
+}
+
+/// An SPDK host baseline run: sequential or random, closed loop at the
+/// configured queue depth. Returns GB/s.
+pub fn spdk_bandwidth(dir: Dir, random: bool, total: u64, qd: u16, seed: u64) -> f64 {
+    let mut host = HostSystem::bring_up(NvmeProfile::samsung_990pro(), seed);
+    let spdk = SpdkNvme::new(
+        host.fabric.clone(),
+        host.hostmem.clone(),
+        host.nvme.clone(),
+        SpdkConfig::with_queue_depth(qd),
+    );
+    spdk.init(&mut host.en, layout::SPDK_CQ).expect("init");
+    host.en.run();
+    let span = 1u64 << 30;
+    if dir == Dir::Read {
+        host.nvme.with(|d| d.nand_mut().prewarm(0, span, 0x11));
+    }
+    let cmd: u64 = if random { 4096 } else { 1 << 20 };
+    let count = total / cmd;
+    let mut rng = snacc_sim::SimRng::new(seed ^ 0x77);
+    // Closed loop: completions trigger replacement submissions.
+    let issued = std::rc::Rc::new(std::cell::RefCell::new(0u64));
+    let spdk2 = spdk.clone();
+    let issued2 = issued.clone();
+    let mut addrs: Vec<u64> = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        let a = if random {
+            rng.gen_range(span / cmd) * cmd
+        } else {
+            (i * cmd) % span
+        };
+        addrs.push(a);
+    }
+    let addrs = std::rc::Rc::new(addrs);
+    let a2 = addrs.clone();
+    let payload: Vec<u8> = (0..cmd).map(fill_byte).collect();
+    let pay2 = payload.clone();
+    spdk.set_completion_hook(move |en, _info| {
+        let mut i = issued2.borrow_mut();
+        if *i < count {
+            let addr = a2[*i as usize];
+            let r = match dir {
+                Dir::Read => spdk2.submit_read(en, addr, cmd),
+                Dir::Write => spdk2.submit_write(en, addr, &pay2),
+            };
+            if r.is_ok() {
+                *i += 1;
+            }
+        }
+    });
+    let t0 = host.en.now();
+    {
+        let mut i = issued.borrow_mut();
+        while *i < count.min(qd as u64) {
+            let addr = addrs[*i as usize];
+            match dir {
+                Dir::Read => spdk.submit_read(&mut host.en, addr, cmd).expect("prime"),
+                Dir::Write => spdk.submit_write(&mut host.en, addr, &payload).expect("prime"),
+            };
+            *i += 1;
+        }
+    }
+    host.en.run();
+    let st = spdk.stats();
+    assert_eq!(st.completed, count, "all commands must finish");
+    let dt = host.en.now().since(t0).as_secs_f64();
+    scrub_host(&mut host);
+    total as f64 / 1e9 / dt
+}
+
+/// Per-GiB sequential bandwidth series for SPDK (alternation visibility).
+pub fn spdk_seq_series(dir: Dir, total: u64, seed: u64) -> Vec<f64> {
+    let gib = 1u64 << 30;
+    let mut out = Vec::new();
+    // One long-lived system; measure GiB windows back to back.
+    let mut host = HostSystem::bring_up(NvmeProfile::samsung_990pro(), seed);
+    let spdk = SpdkNvme::new(
+        host.fabric.clone(),
+        host.hostmem.clone(),
+        host.nvme.clone(),
+        SpdkConfig::default(),
+    );
+    spdk.init(&mut host.en, layout::SPDK_CQ).expect("init");
+    host.en.run();
+    if dir == Dir::Read {
+        host.nvme.with(|d| d.nand_mut().prewarm(0, total, 0x22));
+    }
+    let payload: Vec<u8> = (0..(1 << 20)).map(|i| fill_byte(i as u64)).collect();
+    let mut off = 0u64;
+    while off < total {
+        let end = (off + gib).min(total);
+        let t0 = host.en.now();
+        let mut cur = off;
+        // Closed loop within the window at QD 64 via polling steps.
+        let mut inflight = 0u64;
+        let done = std::rc::Rc::new(std::cell::RefCell::new(0u64));
+        let d2 = done.clone();
+        spdk.set_completion_hook(move |_, _| *d2.borrow_mut() += 1);
+        let window_cmds = (end - off) / (1 << 20);
+        while *done.borrow() < window_cmds {
+            while cur < end && spdk.can_submit() {
+                match dir {
+                    Dir::Read => spdk.submit_read(&mut host.en, cur, 1 << 20).map(|_| ()),
+                    Dir::Write => spdk.submit_write(&mut host.en, cur, &payload).map(|_| ()),
+                }
+                .expect("submit");
+                cur += 1 << 20;
+                inflight += 1;
+            }
+            if !host.en.step() && *done.borrow() < window_cmds {
+                panic!("SPDK window stalled");
+            }
+        }
+        let _ = inflight;
+        let dt = host.en.now().since(t0).as_secs_f64();
+        out.push((end - off) as f64 / 1e9 / dt);
+        off = end;
+    }
+    scrub_host(&mut host);
+    out
+}
+
+/// Single-access SPDK latency (Fig 4c). Reads target *cold* addresses —
+/// see the warm/cold discussion in `snacc-nvme::nand`.
+pub fn spdk_latency_us(dir: Dir, trials: u32, seed: u64) -> f64 {
+    let mut host = HostSystem::bring_up(NvmeProfile::samsung_990pro(), seed);
+    let spdk = SpdkNvme::new(
+        host.fabric.clone(),
+        host.hostmem.clone(),
+        host.nvme.clone(),
+        SpdkConfig::default(),
+    );
+    spdk.init(&mut host.en, layout::SPDK_CQ).expect("init");
+    host.en.run();
+    let lat = std::rc::Rc::new(std::cell::RefCell::new(SimDuration::ZERO));
+    let l2 = lat.clone();
+    spdk.set_completion_hook(move |_, info| {
+        *l2.borrow_mut() = info.completed.since(info.submitted);
+    });
+    let mut rng = snacc_sim::SimRng::new(seed);
+    let payload: Vec<u8> = (0..4096).map(fill_byte).collect();
+    let mut sum = 0.0;
+    for _ in 0..trials {
+        let addr = (40 << 30) + rng.gen_range(1 << 18) * 4096;
+        match dir {
+            Dir::Read => spdk.submit_read(&mut host.en, addr, 4096).expect("submit"),
+            Dir::Write => spdk.submit_write(&mut host.en, addr, &payload).expect("submit"),
+        };
+        host.en.run();
+        sum += lat.borrow().as_us_f64();
+    }
+    let _ = SimTime::ZERO;
+    scrub_host(&mut host);
+    sum / trials as f64
+}

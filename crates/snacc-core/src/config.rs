@@ -1,0 +1,145 @@
+//! Streamer configuration.
+
+use snacc_sim::SimDuration;
+
+/// Where the NVMe payload data buffer lives (paper Sec 4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamerVariant {
+    /// 4 MiB of on-die UltraRAM, shared between reads and writes.
+    Uram,
+    /// 64 MiB read + 64 MiB write buffers in FPGA on-board DRAM.
+    OnboardDram,
+    /// 64 MiB read + 64 MiB write buffers in pinned host DRAM.
+    HostDram,
+}
+
+impl StreamerVariant {
+    /// Short label used by the benchmark harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamerVariant::Uram => "URAM",
+            StreamerVariant::OnboardDram => "On-board DRAM",
+            StreamerVariant::HostDram => "Host DRAM",
+        }
+    }
+
+    /// All three variants, in the paper's presentation order.
+    pub fn all() -> [StreamerVariant; 3] {
+        [
+            StreamerVariant::Uram,
+            StreamerVariant::OnboardDram,
+            StreamerVariant::HostDram,
+        ]
+    }
+}
+
+/// Command retirement policy (paper Sec 4.2 vs the Sec 7 extension).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetirementMode {
+    /// The paper's shipped design: completions may arrive out of order,
+    /// but commands retire (and new commands issue) strictly in order.
+    InOrder,
+    /// Sec 7 extension: issue slots are recycled as soon as a command
+    /// completes; data is still delivered to the PE in order.
+    OutOfOrder,
+}
+
+/// Full streamer configuration.
+#[derive(Clone, Debug)]
+pub struct StreamerConfig {
+    /// Buffer placement variant.
+    pub variant: StreamerVariant,
+    /// Maximum commands in flight (the paper uses 64).
+    pub queue_depth: u16,
+    /// Submission-queue ring entries (≥ queue_depth; larger helps the
+    /// out-of-order extension).
+    pub sq_entries: u16,
+    /// Commands are split at this boundary (the paper uses 1 MB; Sec 4.2).
+    pub max_cmd_bytes: u64,
+    /// Retirement policy.
+    pub retirement: RetirementMode,
+    /// Chunk size for streaming between buffer memory and the user PE.
+    pub stream_chunk: u64,
+    /// Per-command issue pipeline latency (at the 300 MHz shell clock).
+    pub cmd_issue_latency: SimDuration,
+    /// Completion-processing latency per CQE.
+    pub completion_latency: SimDuration,
+}
+
+impl StreamerConfig {
+    /// The paper's configuration for a given variant.
+    pub fn snacc(variant: StreamerVariant) -> Self {
+        StreamerConfig {
+            variant,
+            queue_depth: 64,
+            sq_entries: 64,
+            max_cmd_bytes: 1 << 20,
+            retirement: RetirementMode::InOrder,
+            stream_chunk: 64 << 10,
+            cmd_issue_latency: SimDuration::from_ns(100),
+            completion_latency: SimDuration::from_ns(50),
+        }
+    }
+
+    /// Sec 7 out-of-order extension on top of a variant.
+    pub fn snacc_ooo(variant: StreamerVariant) -> Self {
+        StreamerConfig {
+            retirement: RetirementMode::OutOfOrder,
+            sq_entries: 256,
+            ..Self::snacc(variant)
+        }
+    }
+
+    /// Data-buffer capacity for reads (shared pool size for URAM).
+    pub fn read_buffer_bytes(&self) -> u64 {
+        match self.variant {
+            StreamerVariant::Uram => 4 << 20,
+            StreamerVariant::OnboardDram | StreamerVariant::HostDram => 64 << 20,
+        }
+    }
+
+    /// Data-buffer capacity for writes (0 for URAM: shared with reads).
+    pub fn write_buffer_bytes(&self) -> u64 {
+        match self.variant {
+            StreamerVariant::Uram => 0,
+            StreamerVariant::OnboardDram | StreamerVariant::HostDram => 64 << 20,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = StreamerConfig::snacc(StreamerVariant::Uram);
+        assert_eq!(c.queue_depth, 64);
+        assert_eq!(c.max_cmd_bytes, 1 << 20);
+        assert_eq!(c.retirement, RetirementMode::InOrder);
+        assert_eq!(c.read_buffer_bytes(), 4 << 20);
+        assert_eq!(c.write_buffer_bytes(), 0);
+    }
+
+    #[test]
+    fn dram_variants_have_split_buffers() {
+        for v in [StreamerVariant::OnboardDram, StreamerVariant::HostDram] {
+            let c = StreamerConfig::snacc(v);
+            assert_eq!(c.read_buffer_bytes(), 64 << 20);
+            assert_eq!(c.write_buffer_bytes(), 64 << 20);
+        }
+    }
+
+    #[test]
+    fn ooo_extension_deepens_sq() {
+        let c = StreamerConfig::snacc_ooo(StreamerVariant::Uram);
+        assert_eq!(c.retirement, RetirementMode::OutOfOrder);
+        assert!(c.sq_entries > c.queue_depth);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(StreamerVariant::Uram.label(), "URAM");
+        assert_eq!(StreamerVariant::all().len(), 3);
+    }
+}

@@ -1,0 +1,80 @@
+//! The TaPaSCo plugin wrapper (paper Sec 4.5).
+//!
+//! SNAcc is shipped as a plugin to TaPaSCo's toolflow: "we utilize the
+//! toolflow's plugin system to incorporate an additional NVMe subsystem
+//! into the block design". [`NvmeSubsystem`] is that plugin: applying it
+//! to a shell instantiates the NVMe Streamer with all its BAR windows and
+//! connections.
+
+use crate::config::StreamerConfig;
+use crate::streamer::StreamerHandle;
+use snacc_fpga::tapasco::{ShellPlugin, TapascoShell};
+use snacc_sim::Engine;
+
+/// The SNAcc NVMe subsystem plugin.
+pub struct NvmeSubsystem {
+    cfg: StreamerConfig,
+    handle: Option<StreamerHandle>,
+}
+
+impl NvmeSubsystem {
+    /// A plugin that will instantiate a streamer with `cfg`.
+    pub fn new(cfg: StreamerConfig) -> Self {
+        NvmeSubsystem { cfg, handle: None }
+    }
+
+    /// The instantiated streamer (after integration).
+    pub fn streamer(&self) -> StreamerHandle {
+        self.handle.clone().expect("plugin not integrated yet")
+    }
+}
+
+impl ShellPlugin for NvmeSubsystem {
+    fn name(&self) -> &'static str {
+        "snacc-nvme"
+    }
+
+    fn integrate(&mut self, shell: &mut TapascoShell, en: &mut Engine) {
+        self.handle = Some(StreamerHandle::instantiate(shell, en, self.cfg.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{StreamerConfig, StreamerVariant};
+    use snacc_pcie::PcieFabric;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn plugin_instantiates_streamer() {
+        let fabric = Rc::new(RefCell::new(PcieFabric::new()));
+        let mut en = Engine::new();
+        let mut shell = TapascoShell::new(fabric, 0x4_0000_0000);
+        let mut plugin = NvmeSubsystem::new(StreamerConfig::snacc(StreamerVariant::Uram));
+        shell.apply_plugin(&mut en, &mut plugin);
+        assert_eq!(shell.plugins(), &["snacc-nvme"]);
+        let s = plugin.streamer();
+        let w = s.windows();
+        // 8 MB URAM window fits the existing BAR0 map (Sec 4.5).
+        assert!(shell.bar0().contains_span(w.rd_data.base, w.rd_data.size));
+        assert_eq!(w.rd_data.size, 4 << 20);
+        assert_eq!(w.prp.size, 4 << 20);
+    }
+
+    #[test]
+    fn onboard_variant_requires_second_bar() {
+        let fabric = Rc::new(RefCell::new(PcieFabric::new()));
+        let mut en = Engine::new();
+        let mut shell = TapascoShell::new(fabric, 0x4_0000_0000);
+        let mut plugin =
+            NvmeSubsystem::new(StreamerConfig::snacc(StreamerVariant::OnboardDram));
+        shell.apply_plugin(&mut en, &mut plugin);
+        let w = plugin.streamer().windows();
+        // The 64 MB data windows cannot live in the 64 MB BAR0.
+        assert!(!shell.bar0().contains(w.rd_data.base));
+        assert_eq!(w.rd_data.size, 64 << 20);
+        assert_eq!(w.wr_data.size, 64 << 20);
+    }
+}

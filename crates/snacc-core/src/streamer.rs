@@ -1,0 +1,1417 @@
+//! The NVMe Streamer IP (paper Sec 4.1–4.4, Fig 1).
+//!
+//! User PEs see four AXI4-Stream interfaces:
+//!
+//! * **read command** (①a): one 16-byte beat = `(nvme byte address, length)`;
+//! * **read data** (⑥a): the data, TLAST on the final beat of the request;
+//! * **write** (①b): an 8-byte address beat followed by data beats, length
+//!   implied by TLAST;
+//! * **write response** (⑥b): one 8-byte token (bytes written) per
+//!   completed write transfer.
+//!
+//! Internally the streamer splits requests at 1 MB (Sec 4.2), allocates
+//! contiguous 4 KiB-aligned buffer regions, writes real SQEs into its SQ
+//! FIFO (a BAR window the SSD fetches from, ②), synthesises PRP lists
+//! on-the-fly when the controller reads them (③, Sec 4.4), lets the SSD
+//! move payload data directly to/from the buffer memory (④), receives
+//! CQEs into its reorder buffer (⑤), and retires commands in order,
+//! streaming read data to the PE and recycling buffer space (⑥).
+
+use crate::config::{StreamerConfig, StreamerVariant};
+use crate::prpgen::{PrpMapping, PrpRegFile, RegFilePrpWindow, UramPrpWindow};
+use crate::ring::{Region, RingAllocator};
+use crate::rob::CommandRob;
+use snacc_fpga::axis::{self, AxisChannel, StreamBeat};
+use snacc_fpga::tapasco::TapascoShell;
+use snacc_mem::hostmem::PinnedBuffer;
+use snacc_mem::{AddrRange, DramController, UramConfig, UramModel};
+use snacc_nvme::queue::{CqRing, SqRing};
+use snacc_nvme::spec::{self, Cqe, IoOpcode, Sqe};
+use snacc_pcie::target::{NotifyTarget, ScratchTarget};
+use snacc_pcie::{NodeId, PcieFabric};
+use snacc_sim::{Engine, SimTime};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+const PAGE: u64 = 4096;
+const LBA: u64 = 512;
+
+/// The four user-side AXI4-Stream interfaces (Sec 4.1).
+#[derive(Clone)]
+pub struct UserPorts {
+    /// ①a — read commands: 16-byte beats `(address: u64, length: u64)` LE.
+    pub rd_cmd: Rc<RefCell<AxisChannel>>,
+    /// ⑥a — read data, TLAST per completed read request.
+    pub rd_data: Rc<RefCell<AxisChannel>>,
+    /// ①b — write stream: 8-byte address beat, then data, TLAST ends.
+    pub wr_in: Rc<RefCell<AxisChannel>>,
+    /// ⑥b — write responses: 8-byte token (bytes written).
+    pub wr_resp: Rc<RefCell<AxisChannel>>,
+}
+
+/// Encode a read command beat.
+pub fn encode_read_cmd(addr: u64, len: u64) -> StreamBeat {
+    let mut d = Vec::with_capacity(16);
+    d.extend_from_slice(&addr.to_le_bytes());
+    d.extend_from_slice(&len.to_le_bytes());
+    StreamBeat::last(d)
+}
+
+/// Which buffer pool a command draws from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BufKind {
+    Read,
+    Write,
+}
+
+/// Buffer placement backend.
+enum BufferBackend {
+    Uram {
+        mem: Rc<RefCell<UramModel>>,
+        /// Device-visible base of the 4 MB data window.
+        dev_base: u64,
+    },
+    Dram {
+        mem: Rc<RefCell<DramController>>,
+        rd_local: u64,
+        wr_local: u64,
+        rd_dev: u64,
+        wr_dev: u64,
+    },
+    Host {
+        /// Installed by the host driver (Sec 4.6).
+        rd_buf: Option<PinnedBuffer>,
+        wr_buf: Option<PinnedBuffer>,
+    },
+}
+
+/// Per-command ROB payload.
+#[derive(Clone, Debug)]
+enum CmdInfo {
+    Read {
+        region: Region,
+        /// Bytes the user asked for in this segment.
+        len: u64,
+        /// This segment ends the user transfer (emit TLAST).
+        last_of_xfer: bool,
+    },
+    Write {
+        region: Region,
+        xfer_id: u64,
+    },
+}
+
+/// A command waiting for a ROB slot / SQ slot / buffer region.
+#[derive(Debug)]
+enum PendingCmd {
+    Read {
+        nvme_addr: u64,
+        len: u64,
+        last_of_xfer: bool,
+    },
+    Write {
+        nvme_addr: u64,
+        len: u64,
+        region: Region,
+        xfer_id: u64,
+    },
+}
+
+/// Write-stream accumulation state.
+struct WriteAccum {
+    next_addr: u64,
+    region: Option<(Region, u64)>,
+    xfer_id: u64,
+    carry: Option<StreamBeat>,
+}
+
+/// State of an in-progress read-data stream-out. Buffer reads are
+/// pipelined (a hardware streamer prefetches ahead of the AXIS output),
+/// so several chunks can be in flight while beats are pushed in order.
+struct ReadStream {
+    region: Region,
+    len: u64,
+    /// Bytes whose buffer reads have been issued.
+    issued: u64,
+    /// Bytes delivered to the PE.
+    delivered: u64,
+    last_of_xfer: bool,
+    waiting_space: bool,
+    /// Outstanding buffer reads.
+    inflight: u32,
+}
+
+/// Stream-out prefetch depth.
+const STREAM_PREFETCH: u32 = 4;
+
+/// Per-write-transfer bookkeeping for response tokens.
+#[derive(Default)]
+struct XferState {
+    outstanding_segments: u64,
+    sealed: bool,
+    bytes: u64,
+}
+
+/// Streamer statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamerStats {
+    /// NVMe commands issued.
+    pub cmds_issued: u64,
+    /// Read commands issued.
+    pub read_cmds: u64,
+    /// Write commands issued.
+    pub write_cmds: u64,
+    /// Payload bytes streamed to the PE.
+    pub bytes_to_pe: u64,
+    /// Payload bytes accepted from the PE.
+    pub bytes_from_pe: u64,
+    /// Commands completed with error status.
+    pub errors: u64,
+    /// Doorbell writes issued over PCIe.
+    pub doorbells: u64,
+    /// Write-response tokens emitted.
+    pub responses: u64,
+    /// process_cq invocations (diagnostic).
+    pub cq_events: u64,
+    /// CQEs consumed (diagnostic).
+    pub cqes_consumed: u64,
+}
+
+/// Device-visible window addresses of an instantiated streamer.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowMap {
+    /// Control register window.
+    pub ctrl: AddrRange,
+    /// SQ FIFO window (the SSD fetches SQEs here).
+    pub sq: AddrRange,
+    /// CQ window (the SSD writes CQEs here).
+    pub cq: AddrRange,
+    /// Data window for reads (0-sized for the host variant).
+    pub rd_data: AddrRange,
+    /// Data window for writes (URAM: same as `rd_data`).
+    pub wr_data: AddrRange,
+    /// PRP synthesis window.
+    pub prp: AddrRange,
+}
+
+/// The streamer state. Use through [`StreamerHandle`].
+pub struct NvmeStreamer {
+    cfg: StreamerConfig,
+    fabric: Rc<RefCell<PcieFabric>>,
+    node: NodeId,
+    ports: UserPorts,
+    backend: BufferBackend,
+    rd_ring: RingAllocator,
+    wr_ring: Option<RingAllocator>,
+    rob: CommandRob<CmdInfo>,
+    sq: SqRing,
+    sq_mem: Rc<RefCell<ScratchTarget>>,
+    cq_mem: Rc<RefCell<NotifyTarget>>,
+    cq_ring: CqRing,
+    regfile: Option<Rc<RefCell<PrpRegFile>>>,
+    windows: WindowMap,
+    /// SSD SQ-tail doorbell address (programmed by the host driver).
+    ssd_sq_doorbell: u64,
+    /// SSD CQ-head doorbell address.
+    ssd_cq_doorbell: u64,
+    enabled: bool,
+    pending: VecDeque<PendingCmd>,
+    accum: Option<WriteAccum>,
+    next_xfer_id: u64,
+    xfers: HashMap<u64, XferState>,
+    active_stream: Option<ReadStream>,
+    issuing: bool,
+    wr_busy: bool,
+    cq_busy: bool,
+    stats: StreamerStats,
+}
+
+/// Shared handle to an instantiated streamer.
+#[derive(Clone)]
+pub struct StreamerHandle {
+    inner: Rc<RefCell<NvmeStreamer>>,
+}
+
+impl StreamerHandle {
+    /// Instantiate the streamer inside a TaPaSCo shell: allocates BAR
+    /// windows, maps the SQ/CQ/PRP/data targets, creates the user-side
+    /// channels and arms all pumps. The host driver must still configure
+    /// doorbell addresses and (for the host-DRAM variant) install pinned
+    /// buffers, then enable the IP.
+    pub fn instantiate(shell: &mut TapascoShell, _en: &mut Engine, cfg: StreamerConfig) -> Self {
+        let fabric = shell.fabric();
+        let node = shell.node();
+
+        let ctrl_w = shell.alloc_window(4096).expect("ctrl window");
+        let sq_w = shell
+            .alloc_window(cfg.sq_entries as u64 * spec::SQE_BYTES)
+            .expect("sq window");
+        let cq_w = shell
+            .alloc_window(cfg.sq_entries as u64 * spec::CQE_BYTES)
+            .expect("cq window");
+
+        // Buffer windows + PRP window, per variant.
+        let (backend, rd_data_w, wr_data_w, prp_w, regfile) = match cfg.variant {
+            StreamerVariant::Uram => {
+                // 8 MB window: 4 MB data + 4 MB PRP upper half (Fig 2).
+                let win = shell.alloc_window(8 << 20).expect("uram window");
+                let data_w = AddrRange::new(win.base, 4 << 20);
+                let prp_w = AddrRange::new(win.base + (4 << 20), 4 << 20);
+                let mem = Rc::new(RefCell::new(UramModel::new(
+                    "snacc-uram",
+                    UramConfig::snacc_default(),
+                )));
+                shell.map_target(
+                    data_w,
+                    Rc::new(RefCell::new(snacc_pcie::target::UramTarget::new(
+                        mem.clone(),
+                    ))),
+                );
+                shell.map_target(
+                    prp_w,
+                    Rc::new(RefCell::new(UramPrpWindow::new(data_w.base))),
+                );
+                (
+                    BufferBackend::Uram {
+                        mem,
+                        dev_base: data_w.base,
+                    },
+                    data_w,
+                    data_w,
+                    prp_w,
+                    None,
+                )
+            }
+            StreamerVariant::OnboardDram => {
+                // Two 64 MB DRAM windows need the second BAR (Sec 4.5).
+                let bar2_base = shell.bar0().base + (1 << 30);
+                shell.add_second_bar(bar2_base, 256 << 20);
+                let mem = shell
+                    .dram()
+                    .unwrap_or_else(|| shell.attach_dram(snacc_mem::DramConfig::ddr4_u280()));
+                let rd_w = shell.map_dram_window(0, 64 << 20).expect("rd window");
+                let wr_w = shell
+                    .map_dram_window(64 << 20, 64 << 20)
+                    .expect("wr window");
+                let prp_w = shell
+                    .alloc_window(cfg.sq_entries as u64 * PAGE)
+                    .expect("prp window");
+                let rf = PrpRegFile::new(cfg.sq_entries as usize);
+                shell.map_target(
+                    prp_w,
+                    Rc::new(RefCell::new(RegFilePrpWindow::new(rf.clone()))),
+                );
+                (
+                    BufferBackend::Dram {
+                        mem,
+                        rd_local: 0,
+                        wr_local: 64 << 20,
+                        rd_dev: rd_w.base,
+                        wr_dev: wr_w.base,
+                    },
+                    rd_w,
+                    wr_w,
+                    prp_w,
+                    Some(rf),
+                )
+            }
+            StreamerVariant::HostDram => {
+                let prp_w = shell
+                    .alloc_window(cfg.sq_entries as u64 * PAGE)
+                    .expect("prp window");
+                let rf = PrpRegFile::new(cfg.sq_entries as usize);
+                shell.map_target(
+                    prp_w,
+                    Rc::new(RefCell::new(RegFilePrpWindow::new(rf.clone()))),
+                );
+                // Data windows live in host memory; zero-sized placeholders.
+                let dummy = AddrRange::new(prp_w.base, 1);
+                (
+                    BufferBackend::Host {
+                        rd_buf: None,
+                        wr_buf: None,
+                    },
+                    dummy,
+                    dummy,
+                    prp_w,
+                    Some(rf),
+                )
+            }
+        };
+
+        let sq_mem = Rc::new(RefCell::new(ScratchTarget::new(
+            "snacc-sq-fifo",
+            snacc_sim::SimDuration::from_ns(60),
+        )));
+        shell.map_target(sq_w, sq_mem.clone());
+        let cq_mem = Rc::new(RefCell::new(NotifyTarget::new(
+            "snacc-cq-rob",
+            snacc_sim::SimDuration::from_ns(60),
+        )));
+        shell.map_target(cq_w, cq_mem.clone());
+
+        let windows = WindowMap {
+            ctrl: ctrl_w,
+            sq: sq_w,
+            cq: cq_w,
+            rd_data: rd_data_w,
+            wr_data: wr_data_w,
+            prp: prp_w,
+        };
+
+        let ports = UserPorts {
+            rd_cmd: AxisChannel::new("snacc.rd_cmd", 4096),
+            rd_data: AxisChannel::new("snacc.rd_data", 4 * cfg.stream_chunk),
+            wr_in: AxisChannel::new("snacc.wr_in", 4 * cfg.stream_chunk),
+            wr_resp: AxisChannel::new("snacc.wr_resp", 4096),
+        };
+
+        let wr_ring = (cfg.write_buffer_bytes() > 0)
+            .then(|| RingAllocator::new(cfg.write_buffer_bytes()));
+        let streamer = Rc::new(RefCell::new(NvmeStreamer {
+            rd_ring: RingAllocator::new(cfg.read_buffer_bytes()),
+            wr_ring,
+            rob: CommandRob::new(cfg.queue_depth, cfg.retirement),
+            sq: SqRing::new(sq_w.base, cfg.sq_entries),
+            cq_ring: CqRing::new(cq_w.base, cfg.sq_entries),
+            sq_mem,
+            cq_mem: cq_mem.clone(),
+            regfile,
+            windows,
+            ssd_sq_doorbell: 0,
+            ssd_cq_doorbell: 0,
+            enabled: false,
+            pending: VecDeque::new(),
+            accum: None,
+            next_xfer_id: 0,
+            xfers: HashMap::new(),
+            active_stream: None,
+            issuing: false,
+            wr_busy: false,
+            cq_busy: false,
+            stats: StreamerStats::default(),
+            cfg,
+            fabric,
+            node,
+            ports: ports.clone(),
+            backend,
+        }));
+
+        // CQ write hook → completion processing (⑤).
+        {
+            let rc = streamer.clone();
+            cq_mem
+                .borrow_mut()
+                .set_hook(Box::new(move |en, _off, _data, arrival| {
+                    let rc2 = rc.clone();
+                    let t = arrival.max(en.now()) + rc.borrow().cfg.completion_latency;
+                    en.schedule_at(t, move |en| process_cq(&rc2, en));
+                }));
+        }
+        // Control window: the host driver programs doorbell addresses and
+        // the enable bit over MMIO (Sec 4.6).
+        {
+            let ctrl = Rc::new(RefCell::new(NotifyTarget::new(
+                "snacc-ctrl",
+                snacc_sim::SimDuration::from_ns(50),
+            )));
+            let rc = streamer.clone();
+            ctrl.borrow_mut()
+                .set_hook(Box::new(move |en, off, data, _arr| {
+                    let mut v = [0u8; 8];
+                    let n = data.len().min(8);
+                    v[..n].copy_from_slice(&data[..n]);
+                    ctrl_write(&rc, en, off, u64::from_le_bytes(v));
+                }));
+            shell.map_target(ctrl_w, ctrl);
+        }
+        // User-side hooks.
+        {
+            let rc = streamer.clone();
+            ports
+                .rd_cmd
+                .borrow_mut()
+                .set_data_hook(move |en| accept_read_cmds(&rc, en));
+            let rc = streamer.clone();
+            ports
+                .wr_in
+                .borrow_mut()
+                .set_data_hook(move |en| pump_write_in(&rc, en));
+            let rc = streamer.clone();
+            ports
+                .rd_data
+                .borrow_mut()
+                .set_space_hook(move |en| resume_stream_out(&rc, en));
+            let rc = streamer.clone();
+            ports
+                .wr_resp
+                .borrow_mut()
+                .set_space_hook(move |en| try_retire(&rc, en));
+        }
+        StreamerHandle { inner: streamer }
+    }
+
+    /// The user-side stream interfaces.
+    pub fn ports(&self) -> UserPorts {
+        self.inner.borrow().ports.clone()
+    }
+
+    /// Device-visible window map.
+    pub fn windows(&self) -> WindowMap {
+        self.inner.borrow().windows
+    }
+
+    /// The configured variant.
+    pub fn variant(&self) -> StreamerVariant {
+        self.inner.borrow().cfg.variant
+    }
+
+    /// Submission-queue ring entries (also the CQ depth).
+    pub fn sq_entries(&self) -> u16 {
+        self.inner.borrow().cfg.sq_entries
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> StreamerStats {
+        self.inner.borrow().stats
+    }
+
+    /// Install the pinned host buffers (host-DRAM variant; the TaPaSCo
+    /// kernel driver allocates them and programs the segment table,
+    /// Sec 4.3/4.6).
+    pub fn install_host_buffers(&self, rd: PinnedBuffer, wr: PinnedBuffer) {
+        let mut s = self.inner.borrow_mut();
+        match &mut s.backend {
+            BufferBackend::Host { rd_buf, wr_buf } => {
+                *rd_buf = Some(rd);
+                *wr_buf = Some(wr);
+            }
+            _ => panic!("install_host_buffers on a non-host variant"),
+        }
+    }
+
+    /// Program doorbell addresses directly (tests; the normal path is the
+    /// control window via [`crate::hostinit`]).
+    pub fn set_doorbells(&self, sq: u64, cq: u64) {
+        let mut s = self.inner.borrow_mut();
+        s.ssd_sq_doorbell = sq;
+        s.ssd_cq_doorbell = cq;
+    }
+
+    /// Enable the IP (tests; normal path is the control window).
+    pub fn enable(&self, en: &mut Engine) {
+        self.inner.borrow_mut().enabled = true;
+        let rc = self.inner.clone();
+        en.schedule_now(move |en| {
+            accept_read_cmds(&rc, en);
+            pump_write_in(&rc, en);
+            try_issue(&rc, en);
+        });
+    }
+
+    /// Diagnostic snapshot of internal occupancy (for debugging stalls).
+    pub fn debug_state(&self) -> String {
+        let s = self.inner.borrow();
+        format!(
+            "pending={} rob_len={} rob_inflight={} sq_occ={} rd_ring={}/{} wr_ring={:?} accum={} stream={} xfers={} wr_busy={} issuing={}",
+            s.pending.len(),
+            s.rob.len(),
+            s.rob.inflight_device(),
+            s.sq.occupancy(),
+            s.rd_ring.used(),
+            s.rd_ring.capacity(),
+            s.wr_ring.as_ref().map(|r| (r.used(), r.capacity())),
+            s.accum.is_some(),
+            s.active_stream.is_some(),
+            s.xfers.len(),
+            s.wr_busy,
+            s.issuing,
+        ) + &{
+            let off = s.cq_ring.head_addr() - s.windows.cq.base;
+            let raw = {
+                let mut mem = s.cq_mem.borrow_mut();
+                mem.mem_mut().read_vec(off, 16)
+            };
+            let cqe = Cqe::decode(&raw);
+            format!(
+                " | cq_head={} cq_phase={} slot_cqe={{cid:{} phase:{} sqhead:{}}}",
+                s.cq_ring.head(),
+                s.cq_ring.expected_phase(),
+                cqe.cid,
+                cqe.phase,
+                cqe.sq_head
+            )
+        }
+    }
+
+    /// True when no work is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        let s = self.inner.borrow();
+        s.pending.is_empty()
+            && s.rob.is_empty()
+            && s.accum.is_none()
+            && s.active_stream.is_none()
+            && s.xfers.is_empty()
+    }
+
+    /// Shared access for the plugin/driver layers.
+    #[allow(dead_code)]
+    pub(crate) fn inner(&self) -> Rc<RefCell<NvmeStreamer>> {
+        self.inner.clone()
+    }
+}
+
+impl NvmeStreamer {
+    /// Control-register offsets.
+    pub const CTRL_ENABLE: u64 = 0x00;
+    pub const CTRL_SQ_DB: u64 = 0x08;
+    pub const CTRL_CQ_DB: u64 = 0x10;
+
+    fn page_dev_addr(&self, kind: BufKind, offset: u64) -> u64 {
+        match &self.backend {
+            BufferBackend::Uram { dev_base, .. } => dev_base + offset,
+            BufferBackend::Dram { rd_dev, wr_dev, .. } => match kind {
+                BufKind::Read => rd_dev + offset,
+                BufKind::Write => wr_dev + offset,
+            },
+            BufferBackend::Host { rd_buf, wr_buf } => {
+                let b = match kind {
+                    BufKind::Read => rd_buf,
+                    BufKind::Write => wr_buf,
+                };
+                b.as_ref().expect("host buffers installed").phys_addr(offset)
+            }
+        }
+    }
+
+    fn shared_ring(&self) -> bool {
+        self.wr_ring.is_none()
+    }
+
+    fn ring_mut(&mut self, kind: BufKind) -> &mut RingAllocator {
+        match kind {
+            BufKind::Read => &mut self.rd_ring,
+            BufKind::Write => self.wr_ring.as_mut().unwrap_or(&mut self.rd_ring),
+        }
+    }
+}
+
+/// Handle a control-register write (`value` already extracted from the
+/// write data). Runs inside the fabric borrow — anything that re-enters
+/// the fabric is deferred.
+fn ctrl_write(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine, off: u64, value: u64) {
+    match off {
+        NvmeStreamer::CTRL_SQ_DB => {
+            rc.borrow_mut().ssd_sq_doorbell = value;
+        }
+        NvmeStreamer::CTRL_CQ_DB => {
+            rc.borrow_mut().ssd_cq_doorbell = value;
+        }
+        NvmeStreamer::CTRL_ENABLE => {
+            rc.borrow_mut().enabled = value & 1 != 0;
+            if value & 1 != 0 {
+                let rc2 = rc.clone();
+                en.schedule_now(move |en| {
+                    accept_read_cmds(&rc2, en);
+                    pump_write_in(&rc2, en);
+                    try_issue(&rc2, en);
+                });
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Timed + functional buffer write (local datapath or host DMA).
+fn buf_write(
+    rc: &Rc<RefCell<NvmeStreamer>>,
+    en: &mut Engine,
+    start: SimTime,
+    kind: BufKind,
+    offset: u64,
+    data: &[u8],
+) -> SimTime {
+    enum Op {
+        Uram(Rc<RefCell<UramModel>>),
+        Dram(Rc<RefCell<DramController>>, u64),
+        Host(PinnedBuffer, Rc<RefCell<PcieFabric>>, NodeId),
+    }
+    let op = {
+        let s = rc.borrow();
+        match &s.backend {
+            BufferBackend::Uram { mem, .. } => Op::Uram(mem.clone()),
+            BufferBackend::Dram {
+                mem,
+                rd_local,
+                wr_local,
+                ..
+            } => {
+                let base = match kind {
+                    BufKind::Read => *rd_local,
+                    BufKind::Write => *wr_local,
+                };
+                Op::Dram(mem.clone(), base)
+            }
+            BufferBackend::Host { rd_buf, wr_buf } => {
+                let b = match kind {
+                    BufKind::Read => rd_buf,
+                    BufKind::Write => wr_buf,
+                };
+                Op::Host(
+                    b.as_ref().expect("host buffers installed").clone(),
+                    s.fabric.clone(),
+                    s.node,
+                )
+            }
+        }
+    };
+    match op {
+        Op::Uram(mem) => {
+            let mut m = mem.borrow_mut();
+            // The local port books from `start`.
+            let t = m
+                .access(start, snacc_mem::MemDir::Write, offset, data.len() as u64);
+            m.store_mut().write(offset, data);
+            t
+        }
+        Op::Dram(mem, base) => mem.borrow_mut().write(start, base + offset, data),
+        Op::Host(pinned, fabric, node) => {
+            // Cross pinned segments as needed.
+            let mut t = start;
+            let mut off = 0usize;
+            while off < data.len() {
+                let logical = offset + off as u64;
+                let phys = pinned.phys_addr(logical);
+                let seg_end = pinned
+                    .segments()
+                    .iter()
+                    .find(|s| s.contains(phys))
+                    .expect("phys in a segment")
+                    .end();
+                let n = ((seg_end - phys) as usize).min(data.len() - off);
+                let done = fabric
+                    .borrow_mut()
+                    .write_at(en, t.max(en.now()), node, phys, &data[off..off + n])
+                    .expect("host buffer reachable");
+                t = done;
+                off += n;
+            }
+            t
+        }
+    }
+}
+
+/// Timed + functional buffer read.
+fn buf_read(
+    rc: &Rc<RefCell<NvmeStreamer>>,
+    en: &mut Engine,
+    start: SimTime,
+    kind: BufKind,
+    offset: u64,
+    out: &mut [u8],
+) -> SimTime {
+    enum Op {
+        Uram(Rc<RefCell<UramModel>>),
+        Dram(Rc<RefCell<DramController>>, u64),
+        Host(PinnedBuffer, Rc<RefCell<PcieFabric>>, NodeId),
+    }
+    let op = {
+        let s = rc.borrow();
+        match &s.backend {
+            BufferBackend::Uram { mem, .. } => Op::Uram(mem.clone()),
+            BufferBackend::Dram {
+                mem,
+                rd_local,
+                wr_local,
+                ..
+            } => {
+                let base = match kind {
+                    BufKind::Read => *rd_local,
+                    BufKind::Write => *wr_local,
+                };
+                Op::Dram(mem.clone(), base)
+            }
+            BufferBackend::Host { rd_buf, wr_buf } => {
+                let b = match kind {
+                    BufKind::Read => rd_buf,
+                    BufKind::Write => wr_buf,
+                };
+                Op::Host(
+                    b.as_ref().expect("host buffers installed").clone(),
+                    s.fabric.clone(),
+                    s.node,
+                )
+            }
+        }
+    };
+    match op {
+        Op::Uram(mem) => {
+            let mut m = mem.borrow_mut();
+            let t = m.access(start, snacc_mem::MemDir::Read, offset, out.len() as u64);
+            m.store_mut().read(offset, out);
+            t
+        }
+        Op::Dram(mem, base) => mem.borrow_mut().read(start, base + offset, out),
+        Op::Host(pinned, fabric, node) => {
+            let mut t = start;
+            let mut off = 0usize;
+            while off < out.len() {
+                let logical = offset + off as u64;
+                let phys = pinned.phys_addr(logical);
+                let seg_end = pinned
+                    .segments()
+                    .iter()
+                    .find(|s| s.contains(phys))
+                    .expect("phys in a segment")
+                    .end();
+                let n = ((seg_end - phys) as usize).min(out.len() - off);
+                let done = fabric
+                    .borrow_mut()
+                    .read_at(en, t.max(en.now()), node, phys, &mut out[off..off + n])
+                    .expect("host buffer reachable");
+                t = done;
+                off += n;
+            }
+            t
+        }
+    }
+}
+
+/// ①a — accept and split user read commands.
+fn accept_read_cmds(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
+    loop {
+        if !rc.borrow().enabled {
+            return;
+        }
+        let ch = rc.borrow().ports.rd_cmd.clone();
+        let Some(beat) = axis::pop(&ch, en) else {
+            return;
+        };
+        assert!(beat.len() >= 16, "read command beat must be 16 bytes");
+        let addr = u64::from_le_bytes(beat.data[0..8].try_into().unwrap());
+        let len = u64::from_le_bytes(beat.data[8..16].try_into().unwrap());
+        assert!(len > 0, "zero-length read");
+        assert!(addr % LBA == 0 && len % LBA == 0, "reads must be LBA-aligned");
+        // Split at the 1 MB boundary (Sec 4.2).
+        let mut s = rc.borrow_mut();
+        let max = s.cfg.max_cmd_bytes;
+        let mut off = 0;
+        while off < len {
+            let n = max.min(len - off);
+            s.pending.push_back(PendingCmd::Read {
+                nvme_addr: addr + off,
+                len: n,
+                last_of_xfer: off + n == len,
+            });
+            off += n;
+        }
+        drop(s);
+        try_issue(rc, en);
+    }
+}
+
+/// ①b — accumulate the write stream into buffer memory; issue at 1 MB
+/// boundaries and on TLAST.
+fn pump_write_in(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
+    {
+        let s = rc.borrow();
+        if !s.enabled || s.wr_busy {
+            return;
+        }
+    }
+    // Take the next unit of work: a carried partial beat, or a fresh one.
+    let beat = {
+        let mut s = rc.borrow_mut();
+        if let Some(acc) = &mut s.accum {
+            acc.carry.take()
+        } else {
+            None
+        }
+    };
+    let beat = match beat {
+        Some(b) => b,
+        None => {
+            let ch = rc.borrow().ports.wr_in.clone();
+            match axis::pop(&ch, en) {
+                Some(b) => b,
+                None => return,
+            }
+        }
+    };
+
+    // Header beat?
+    {
+        let mut s = rc.borrow_mut();
+        if s.accum.is_none() {
+            assert!(beat.len() >= 8, "write header beat must carry the address");
+            let addr = u64::from_le_bytes(beat.data[0..8].try_into().unwrap());
+            assert!(addr % LBA == 0, "write address must be LBA-aligned");
+            let xfer_id = s.next_xfer_id;
+            s.next_xfer_id += 1;
+            s.xfers.insert(xfer_id, XferState::default());
+            s.accum = Some(WriteAccum {
+                next_addr: addr,
+                region: None,
+                xfer_id,
+                carry: None,
+            });
+            if beat.last {
+                // Empty write: respond immediately.
+                let xid = xfer_id;
+                s.accum = None;
+                s.xfers.get_mut(&xid).unwrap().sealed = true;
+                drop(s);
+                finish_xfers(rc, en);
+                pump_write_in(rc, en);
+                return;
+            }
+            drop(s);
+            pump_write_in(rc, en);
+            return;
+        }
+    }
+
+    // Data beat: ensure a region exists.
+    let need_alloc = rc.borrow().accum.as_ref().unwrap().region.is_none();
+    if need_alloc {
+        let mut s = rc.borrow_mut();
+        let max = s.cfg.max_cmd_bytes;
+        let region = s.ring_mut(BufKind::Write).alloc(max);
+        match region {
+            Some(r) => {
+                s.accum.as_mut().unwrap().region = Some((r, 0));
+            }
+            None => {
+                // Buffer full: stash the beat; retirement will re-pump.
+                s.accum.as_mut().unwrap().carry = Some(beat);
+                return;
+            }
+        }
+    }
+
+    // How much of this beat fits in the current segment?
+    let (region, filled) = {
+        let s = rc.borrow();
+        let acc = s.accum.as_ref().unwrap();
+        let (r, f) = acc.region.unwrap();
+        (r, f)
+    };
+    let space = region.len - filled;
+    let take = (beat.len() as u64).min(space) as usize;
+    let (chunk, leftover) = if take < beat.len() {
+        let rest = StreamBeat {
+            data: beat.data[take..].to_vec(),
+            last: beat.last,
+        };
+        (beat.data[..take].to_vec(), Some(rest))
+    } else {
+        (beat.data, None)
+    };
+    let chunk_is_final = leftover.is_none() && beat.last;
+
+    rc.borrow_mut().wr_busy = true;
+    let t_done = buf_write(
+        rc,
+        en,
+        en.now(),
+        BufKind::Write,
+        region.offset + filled,
+        &chunk,
+    );
+    let rc2 = rc.clone();
+    let chunk_len = chunk.len() as u64;
+    en.schedule_at(t_done.max(en.now()), move |en| {
+        let mut issue_needed = false;
+        {
+            let mut s = rc2.borrow_mut();
+            s.wr_busy = false;
+            s.stats.bytes_from_pe += chunk_len;
+            let acc = s.accum.as_mut().unwrap();
+            let (r, f) = acc.region.unwrap();
+            let new_fill = f + chunk_len;
+            acc.region = Some((r, new_fill));
+            acc.carry = leftover;
+            let seal = chunk_is_final || new_fill == r.len;
+            if seal {
+                let acc = s.accum.as_mut().unwrap();
+                let nvme_addr = acc.next_addr;
+                acc.next_addr += new_fill;
+                let xfer_id = acc.xfer_id;
+                acc.region = None;
+                let final_now = chunk_is_final;
+                // Shrink the 1 MB reservation to the actual fill.
+                let padded = new_fill.div_ceil(PAGE) * PAGE;
+                let shrunk = if padded < r.len {
+                    let shared = s.shared_ring();
+                    let _ = shared;
+                    s.ring_mut(BufKind::Write).shrink_last(r, padded)
+                } else {
+                    r
+                };
+                // Pad the command length to whole LBAs.
+                let cmd_len = new_fill.div_ceil(LBA) * LBA;
+                s.xfers.get_mut(&xfer_id).unwrap().outstanding_segments += 1;
+                s.xfers.get_mut(&xfer_id).unwrap().bytes += new_fill;
+                s.pending.push_back(PendingCmd::Write {
+                    nvme_addr,
+                    len: cmd_len,
+                    region: shrunk,
+                    xfer_id,
+                });
+                if final_now {
+                    s.xfers.get_mut(&xfer_id).unwrap().sealed = true;
+                    s.accum = None;
+                }
+                issue_needed = true;
+            }
+        }
+        if issue_needed {
+            try_issue(&rc2, en);
+        }
+        pump_write_in(&rc2, en);
+    });
+}
+
+/// ② — issue pending commands: ROB slot + SQ slot (+ read buffer region),
+/// write the SQE into the SQ FIFO, ring the SSD doorbell.
+fn try_issue(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
+    {
+        let s = rc.borrow();
+        if !s.enabled || s.issuing || s.ssd_sq_doorbell == 0 {
+            return;
+        }
+    }
+    // One command per issue-pipeline slot.
+    let issue = {
+        let mut s = rc.borrow_mut();
+        if s.pending.is_empty() || !s.rob.can_issue() || s.sq.is_full() {
+            None
+        } else {
+            // Reads allocate their buffer region at issue time.
+            let front_ok = match s.pending.front().unwrap() {
+                PendingCmd::Read { len, .. } => {
+                    let padded = len.div_ceil(PAGE) * PAGE;
+                    let region = s.rd_ring.alloc(padded);
+                    match region {
+                        Some(r) => Some(Some(r)),
+                        None => None, // buffer full → stall issue
+                    }
+                }
+                PendingCmd::Write { .. } => Some(None),
+            };
+            match front_ok {
+                None => None,
+                Some(read_region) => {
+                    let cmd = s.pending.pop_front().unwrap();
+                    Some((cmd, read_region))
+                }
+            }
+        }
+    };
+    let Some((cmd, read_region)) = issue else {
+        return;
+    };
+
+    // Build the SQE.
+    let (sqe_no_cid, info, kind, region, len) = {
+        match cmd {
+            PendingCmd::Read {
+                nvme_addr,
+                len,
+                last_of_xfer,
+            } => {
+                let region = read_region.expect("read region allocated");
+                let sqe = Sqe::io(
+                    IoOpcode::Read,
+                    0,
+                    nvme_addr / LBA,
+                    (len / LBA - 1) as u16,
+                );
+                (
+                    sqe,
+                    CmdInfo::Read {
+                        region,
+                        len,
+                        last_of_xfer,
+                    },
+                    BufKind::Read,
+                    region,
+                    len,
+                )
+            }
+            PendingCmd::Write {
+                nvme_addr,
+                len,
+                region,
+                xfer_id,
+            } => {
+                let sqe = Sqe::io(
+                    IoOpcode::Write,
+                    0,
+                    nvme_addr / LBA,
+                    (len / LBA - 1) as u16,
+                );
+                (sqe, CmdInfo::Write { region, xfer_id }, BufKind::Write, region, len)
+            }
+        }
+    };
+
+    let (tail, doorbell, fabric, node, delay) = {
+        let mut s = rc.borrow_mut();
+        let cid = s.rob.issue(info);
+        let mut sqe = sqe_no_cid;
+        sqe.cid = cid;
+        // PRPs: on-the-fly schemes (Sec 4.4).
+        let pages = snacc_sim::ceil_div(len, PAGE);
+        sqe.prp1 = s.page_dev_addr(kind, region.offset);
+        if pages == 2 {
+            sqe.prp2 = s.page_dev_addr(kind, region.offset + PAGE);
+        } else if pages > 2 {
+            match s.cfg.variant {
+                StreamerVariant::Uram => {
+                    sqe.prp2 = UramPrpWindow::prp2_for(s.windows.prp.base, region.offset);
+                }
+                StreamerVariant::OnboardDram => {
+                    let second = s.page_dev_addr(kind, region.offset + PAGE);
+                    let slots = s.cfg.sq_entries as usize;
+                    s.regfile
+                        .as_ref()
+                        .unwrap()
+                        .borrow_mut()
+                        .set(cid, PrpMapping::Contig { second_page: second });
+                    sqe.prp2 = RegFilePrpWindow::prp2_for(s.windows.prp.base, cid, slots);
+                }
+                StreamerVariant::HostDram => {
+                    let pinned = match (&s.backend, kind) {
+                        (BufferBackend::Host { rd_buf, .. }, BufKind::Read) => {
+                            rd_buf.as_ref().unwrap().clone()
+                        }
+                        (BufferBackend::Host { wr_buf, .. }, BufKind::Write) => {
+                            wr_buf.as_ref().unwrap().clone()
+                        }
+                        _ => unreachable!(),
+                    };
+                    let slots = s.cfg.sq_entries as usize;
+                    s.regfile.as_ref().unwrap().borrow_mut().set(
+                        cid,
+                        PrpMapping::Segmented {
+                            pinned,
+                            second_page_index: region.offset / PAGE + 1,
+                        },
+                    );
+                    sqe.prp2 = RegFilePrpWindow::prp2_for(s.windows.prp.base, cid, slots);
+                }
+            }
+        }
+        // Write the SQE into the SQ FIFO (local IP memory).
+        let slot_addr = s.sq.tail_addr() - s.windows.sq.base;
+        s.sq_mem
+            .borrow_mut()
+            .mem_mut()
+            .write(slot_addr, &sqe.encode());
+        let tail = s.sq.advance_tail();
+        s.stats.cmds_issued += 1;
+        match kind {
+            BufKind::Read => s.stats.read_cmds += 1,
+            BufKind::Write => s.stats.write_cmds += 1,
+        }
+        s.stats.doorbells += 1;
+        s.issuing = true;
+        (
+            tail,
+            s.ssd_sq_doorbell,
+            s.fabric.clone(),
+            s.node,
+            s.cfg.cmd_issue_latency,
+        )
+    };
+
+    if std::env::var("SNACC_DBG_RD").is_ok() {
+        eprintln!("[{}] issue tail={}", en.now(), tail);
+    }
+    // Ring the SSD doorbell (P2P posted write).
+    let _ = fabric
+        .borrow_mut()
+        .write_u32(en, node, doorbell, tail as u32);
+
+    // Issue pipeline: next command after the issue latency.
+    let rc2 = rc.clone();
+    en.schedule_in(delay, move |en| {
+        rc2.borrow_mut().issuing = false;
+        try_issue(&rc2, en);
+    });
+}
+
+/// ⑤ — drain new CQEs out of the CQ window memory.
+fn process_cq(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
+    {
+        let s = rc.borrow();
+        if s.cq_busy {
+            return;
+        }
+    }
+    rc.borrow_mut().cq_busy = true;
+    rc.borrow_mut().stats.cq_events += 1;
+    let mut reaped = 0u32;
+    loop {
+        let cqe = {
+            let mut s = rc.borrow_mut();
+            let off = s.cq_ring.head_addr() - s.windows.cq.base;
+            let raw = {
+                let mut mem = s.cq_mem.borrow_mut();
+                mem.mem_mut().read_vec(off, 16)
+            };
+            let cqe = Cqe::decode(&raw);
+            if cqe.phase != s.cq_ring.expected_phase() {
+                None
+            } else {
+                s.cq_ring.consume();
+                Some(cqe)
+            }
+        };
+        let Some(cqe) = cqe else {
+            break;
+        };
+        reaped += 1;
+        if std::env::var("SNACC_DBG_RD").is_ok() {
+            eprintln!("[{}] cqe cid={}", en.now(), cqe.cid);
+        }
+        let mut s = rc.borrow_mut();
+        s.stats.cqes_consumed += 1;
+        let ok = cqe.status == snacc_nvme::spec::Status::Success;
+        if !ok {
+            s.stats.errors += 1;
+        }
+        s.rob.complete(cqe.cid, ok);
+        let head = cqe.sq_head % s.sq.entries();
+        s.sq.update_head(head);
+    }
+    rc.borrow_mut().cq_busy = false;
+    if reaped > 0 {
+        // Update the SSD's CQ head doorbell (accounting traffic).
+        let (fabric, node, db, head) = {
+            let s = rc.borrow();
+            (
+                s.fabric.clone(),
+                s.node,
+                s.ssd_cq_doorbell,
+                s.cq_ring.head(),
+            )
+        };
+        if db != 0 {
+            let _ = fabric.borrow_mut().write_u32(en, node, db, head as u32);
+        }
+        try_retire(rc, en);
+        try_issue(rc, en);
+        pump_write_in(rc, en);
+    }
+}
+
+/// ⑥ — in-order retirement: writes free buffer + emit responses; reads
+/// stream their data to the PE before freeing.
+fn try_retire(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
+    loop {
+        if rc.borrow().active_stream.is_some() {
+            return; // a read is mid-stream; its completion resumes us
+        }
+        enum Next {
+            Write,
+            Read,
+            None,
+        }
+        let next = {
+            let s = rc.borrow();
+            match s.rob.front_ready() {
+                Some((_, _, CmdInfo::Write { .. })) => {
+                    // Need response space before committing (tokens are
+                    // emitted from retirement).
+                    Next::Write
+                }
+                Some((_, _, CmdInfo::Read { .. })) => Next::Read,
+                None => Next::None,
+            }
+        };
+        match next {
+            Next::None => return,
+            Next::Write => {
+                {
+                    let mut s = rc.borrow_mut();
+                    let (cid, _ok, info) = s.rob.retire_front();
+                    if let Some(rf) = &s.regfile {
+                        rf.borrow_mut().clear(cid);
+                    }
+                    let CmdInfo::Write { region, xfer_id } = info else {
+                        unreachable!()
+                    };
+                    s.ring_mut(BufKind::Write).free_oldest(region);
+                    let x = s.xfers.get_mut(&xfer_id).expect("xfer tracked");
+                    x.outstanding_segments -= 1;
+                }
+                finish_xfers(rc, en);
+                try_issue(rc, en);
+                pump_write_in(rc, en);
+            }
+            Next::Read => {
+                // Begin streaming the head read's data (retire when done).
+                let stream = {
+                    let mut s = rc.borrow_mut();
+                    let (_cid, _ok, info) = s
+                        .rob
+                        .front_ready()
+                        .map(|(c, o, i)| (c, o, i.clone()))
+                        .expect("front ready");
+                    let CmdInfo::Read {
+                        region,
+                        len,
+                        last_of_xfer,
+                    } = info
+                    else {
+                        unreachable!()
+                    };
+                    s.active_stream = Some(ReadStream {
+                        region,
+                        len,
+                        issued: 0,
+                        delivered: 0,
+                        last_of_xfer,
+                        waiting_space: false,
+                        inflight: 0,
+                    });
+                    ()
+                };
+                let _ = stream;
+                stream_out_step(rc, en);
+                if rc.borrow().active_stream.is_some() {
+                    return; // still streaming asynchronously
+                }
+            }
+        }
+    }
+}
+
+/// Emit response tokens for write transfers whose segments all retired.
+fn finish_xfers(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
+    loop {
+        let (done_id, bytes) = {
+            let s = rc.borrow();
+            match s
+                .xfers
+                .iter()
+                .find(|(_, x)| x.sealed && x.outstanding_segments == 0)
+            {
+                Some((&id, x)) => (id, x.bytes),
+                None => return,
+            }
+        };
+        let ch = rc.borrow().ports.wr_resp.clone();
+        let token = StreamBeat::last(bytes.to_le_bytes().to_vec());
+        if !axis::push(&ch, en, token) {
+            return; // response channel full; its space hook retries
+        }
+        let mut s = rc.borrow_mut();
+        s.xfers.remove(&done_id);
+        s.stats.responses += 1;
+    }
+}
+
+/// Continue the active read stream-out: keep up to [`STREAM_PREFETCH`]
+/// buffer reads in flight; beats are pushed in order as reads complete
+/// (buffer resources serve FIFO, so completion order matches issue
+/// order).
+fn stream_out_step(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
+    loop {
+        enum Next {
+            Done,
+            Wait,
+            Issue(Region, u64, u64, bool, u64),
+        }
+        let next = {
+            let mut s = rc.borrow_mut();
+            let stream_chunk = s.cfg.stream_chunk;
+            let rd_data = s.ports.rd_data.clone();
+            let Some(st) = &mut s.active_stream else {
+                return;
+            };
+            if st.delivered >= st.len {
+                // Finished: retire the head read, free its buffer.
+                let (cid, _ok, info) = s.rob.retire_front();
+                if let Some(rf) = &s.regfile {
+                    rf.borrow_mut().clear(cid);
+                }
+                let CmdInfo::Read { region, .. } = info else {
+                    unreachable!()
+                };
+                s.rd_ring.free_oldest(region);
+                s.active_stream = None;
+                Next::Done
+            } else if st.issued < st.len && st.inflight < STREAM_PREFETCH {
+                let chunk = stream_chunk.min(st.len - st.issued);
+                // Reserve output space for everything in flight plus this
+                // chunk so completed reads can always push their beat.
+                let reserve = (st.inflight as u64 + 1) * stream_chunk;
+                if !rd_data.borrow().has_space(reserve as usize) {
+                    st.waiting_space = true;
+                    Next::Wait
+                } else {
+                    st.waiting_space = false;
+                    st.inflight += 1;
+                    let pos = st.issued;
+                    st.issued += chunk;
+                    let out = Next::Issue(st.region, pos, chunk, st.last_of_xfer, st.len);
+                    s.stats.bytes_to_pe += chunk;
+                    out
+                }
+            } else {
+                // Pipeline full (or all issued): completions drive progress.
+                Next::Wait
+            }
+        };
+        match next {
+            Next::Done => {
+                // Head retired; continue the retire loop and re-arm issue.
+                try_retire(rc, en);
+                try_issue(rc, en);
+                return;
+            }
+            Next::Wait => return,
+            Next::Issue(region, pos, chunk, last_of_xfer, total) => {
+                let mut data = vec![0u8; chunk as usize];
+                let t = buf_read(rc, en, en.now(), BufKind::Read, region.offset + pos, &mut data);
+                let is_last_beat = last_of_xfer && pos + chunk == total;
+                let rc2 = rc.clone();
+                en.schedule_at(t.max(en.now()), move |en| {
+                    let ch = rc2.borrow().ports.rd_data.clone();
+                    let beat = StreamBeat {
+                        data,
+                        last: is_last_beat,
+                    };
+                    let ok = axis::push(&ch, en, beat);
+                    debug_assert!(ok, "space was reserved at issue");
+                    {
+                        let mut s = rc2.borrow_mut();
+                        if let Some(st) = &mut s.active_stream {
+                            st.inflight -= 1;
+                            st.delivered += chunk;
+                        }
+                    }
+                    stream_out_step(&rc2, en);
+                });
+                // Loop: try to issue more prefetches right away.
+            }
+        }
+    }
+}
+
+/// Resume a stream-out stalled on PE backpressure.
+fn resume_stream_out(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
+    let waiting = rc
+        .borrow()
+        .active_stream
+        .as_ref()
+        .map(|s| s.waiting_space)
+        .unwrap_or(false);
+    if waiting {
+        stream_out_step(rc, en);
+    }
+}

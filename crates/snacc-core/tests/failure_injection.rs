@@ -1,0 +1,202 @@
+//! Failure injection: IOMMU revocation, bad commands, error completions.
+
+use snacc_core::config::{StreamerConfig, StreamerVariant};
+use snacc_core::hostinit::SnaccHostDriver;
+use snacc_core::plugin::NvmeSubsystem;
+use snacc_core::streamer::encode_read_cmd;
+use snacc_fpga::axis::{self, StreamBeat};
+use snacc_fpga::tapasco::TapascoShell;
+use snacc_mem::{AddrRange, HostMemory};
+use snacc_nvme::spec::{IoOpcode, Sqe, Status};
+use snacc_nvme::{NvmeDeviceHandle, NvmeProfile};
+use snacc_pcie::target::HostMemTarget;
+use snacc_pcie::{Iommu, PcieFabric, HOST_NODE};
+use snacc_sim::Engine;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const SHELL_BAR: u64 = 0x4_0000_0000;
+const NVME_BAR: u64 = 0x8_0000_0000;
+
+fn build(
+    variant: StreamerVariant,
+) -> (
+    Engine,
+    Rc<RefCell<PcieFabric>>,
+    snacc_core::streamer::StreamerHandle,
+    NvmeDeviceHandle,
+) {
+    let mut en = Engine::new();
+    let mut fabric = PcieFabric::new();
+    fabric.set_iommu(Iommu::new());
+    let hostmem = Rc::new(RefCell::new(HostMemory::default()));
+    let t = Rc::new(RefCell::new(HostMemTarget::new(hostmem.clone(), 0)));
+    fabric.map_region(HOST_NODE, AddrRange::new(0, 8 << 30), t);
+    let fabric = Rc::new(RefCell::new(fabric));
+    let mut shell = TapascoShell::new(fabric.clone(), SHELL_BAR);
+    let mut plugin = NvmeSubsystem::new(StreamerConfig::snacc(variant));
+    shell.apply_plugin(&mut en, &mut plugin);
+    let streamer = plugin.streamer();
+    let nvme = NvmeDeviceHandle::attach(fabric.clone(), NVME_BAR, NvmeProfile::samsung_990pro(), 3);
+    fabric
+        .borrow_mut()
+        .iommu_mut()
+        .grant(nvme.node(), AddrRange::new(0x1_0000_0000, 1 << 20));
+    let mut driver = SnaccHostDriver::new(fabric.clone(), hostmem, nvme.clone());
+    driver.bring_up(&mut en, &streamer, 1).expect("bring-up");
+    (en, fabric, streamer, nvme)
+}
+
+#[test]
+fn iommu_revocation_produces_error_completions() {
+    let (mut en, fabric, streamer, nvme) = build(StreamerVariant::Uram);
+    // Revoke the SSD's *data-window* grants mid-flight (queues stay
+    // reachable, as in a real IOMMU misconfiguration of one mapping):
+    // data fetches fault and the device reports Data Transfer Error —
+    // but the streamer still retires the command and answers the PE.
+    let w = streamer.windows();
+    {
+        let mut fab = fabric.borrow_mut();
+        fab.iommu_mut().revoke_all(nvme.node());
+        for r in [w.sq, w.cq, w.prp] {
+            fab.iommu_mut().grant(nvme.node(), r);
+        }
+        fab.iommu_mut()
+            .grant(nvme.node(), AddrRange::new(0x1_0000_0000, 1 << 20));
+    }
+    let ports = streamer.ports();
+    axis::push(&ports.wr_in, &mut en, StreamBeat::mid(0u64.to_le_bytes().to_vec()));
+    axis::push(&ports.wr_in, &mut en, StreamBeat::last(vec![1u8; 8192]));
+    en.run();
+    // Response token still arrives (protocol liveness under errors).
+    assert!(axis::pop(&ports.wr_resp, &mut en).is_some());
+    assert!(streamer.stats().errors > 0, "error must be surfaced");
+    assert!(fabric.borrow_mut().iommu_mut().faults() > 0);
+}
+
+#[test]
+fn read_after_revocation_still_streams() {
+    // Read path: the SSD cannot deliver data (posted writes fault), the
+    // CQE carries an error, and the streamer streams buffer contents
+    // (zeros) so the PE protocol never wedges.
+    let (mut en, fabric, streamer, nvme) = build(StreamerVariant::Uram);
+    let w = streamer.windows();
+    {
+        let mut fab = fabric.borrow_mut();
+        fab.iommu_mut().revoke_all(nvme.node());
+        for r in [w.sq, w.cq, w.prp] {
+            fab.iommu_mut().grant(nvme.node(), r);
+        }
+    }
+    let ports = streamer.ports();
+    axis::push(&ports.rd_cmd, &mut en, encode_read_cmd(0, 8192));
+    let mut got = 0;
+    loop {
+        match axis::pop(&ports.rd_data, &mut en) {
+            Some(b) => {
+                got += b.len();
+                if b.last {
+                    break;
+                }
+            }
+            None => {
+                if !en.step() {
+                    break;
+                }
+            }
+        }
+    }
+    assert_eq!(got, 8192, "full (zeroed) stream despite the fault");
+    assert!(streamer.stats().errors > 0);
+}
+
+#[test]
+fn device_rejects_misaligned_prp_list_entries() {
+    // Speak to the controller directly with a corrupt PRP2 (unaligned):
+    // the command completes with Invalid Field, not a hang.
+    let mut en = Engine::new();
+    let fabric = Rc::new(RefCell::new(PcieFabric::new()));
+    let hostmem = Rc::new(RefCell::new(HostMemory::default()));
+    let t = Rc::new(RefCell::new(HostMemTarget::new(hostmem.clone(), 0)));
+    fabric
+        .borrow_mut()
+        .map_region(HOST_NODE, AddrRange::new(0, 8 << 30), t);
+    let nvme = NvmeDeviceHandle::attach(fabric.clone(), NVME_BAR, NvmeProfile::samsung_990pro(), 9);
+    // Minimal admin bring-up through raw registers.
+    use snacc_nvme::spec::{cc, regs};
+    let asq = 0x10_0000u64;
+    let acq = 0x11_0000u64;
+    {
+        let mut fab = fabric.borrow_mut();
+        fab.write_u32(&mut en, HOST_NODE, NVME_BAR + regs::AQA, (31 << 16) | 31)
+            .unwrap();
+        fab.write(&mut en, HOST_NODE, NVME_BAR + regs::ASQ, &asq.to_le_bytes())
+            .unwrap();
+        fab.write(&mut en, HOST_NODE, NVME_BAR + regs::ACQ, &acq.to_le_bytes())
+            .unwrap();
+        fab.write_u32(&mut en, HOST_NODE, NVME_BAR + regs::CC, cc::EN)
+            .unwrap();
+    }
+    en.run();
+    // Create an I/O queue pair in host memory.
+    let io_sq = 0x20_0000u64;
+    let io_cq = 0x21_0000u64;
+    let mut submit_admin = |en: &mut Engine, sqe: Sqe, slot: u16| {
+        hostmem
+            .borrow_mut()
+            .store_mut()
+            .write(asq + slot as u64 * 64, &sqe.encode());
+        fabric
+            .borrow_mut()
+            .write_u32(en, HOST_NODE, NVME_BAR + regs::sq_tail_doorbell(0), slot as u32 + 1)
+            .unwrap();
+        en.run();
+    };
+    let mut c = Sqe::new(snacc_nvme::spec::AdminOpcode::CreateIoCq as u8, 0);
+    c.prp1 = io_cq;
+    c.cdw[0] = 1 | (63 << 16);
+    c.cdw[1] = 1;
+    submit_admin(&mut en, c, 0);
+    let mut s = Sqe::new(snacc_nvme::spec::AdminOpcode::CreateIoSq as u8, 1);
+    s.prp1 = io_sq;
+    s.cdw[0] = 1 | (63 << 16);
+    s.cdw[1] = 1 | (1 << 16);
+    submit_admin(&mut en, s, 1);
+
+    // A 12 KiB write whose PRP2 (list pointer) is misaligned.
+    let mut w = Sqe::io(IoOpcode::Write, 7, 0, 23);
+    w.prp1 = 0x40_0000;
+    w.prp2 = 0x40_1003; // not 8-byte aligned
+    hostmem.borrow_mut().store_mut().write(io_sq, &w.encode());
+    fabric
+        .borrow_mut()
+        .write_u32(&mut en, HOST_NODE, NVME_BAR + regs::sq_tail_doorbell(1), 1)
+        .unwrap();
+    en.run();
+    let raw = hostmem.borrow_mut().store_mut().read_vec(io_cq, 16);
+    let cqe = snacc_nvme::spec::Cqe::decode(&raw);
+    assert_eq!(cqe.cid, 7);
+    assert_eq!(cqe.status, Status::InvalidField);
+}
+
+#[test]
+fn out_of_bounds_read_reports_lba_range_error() {
+    let (mut en, _fabric, streamer, nvme) = build(StreamerVariant::Uram);
+    let cap = nvme.with(|d| d.nand_mut().capacity_bytes());
+    let ports = streamer.ports();
+    axis::push(&ports.rd_cmd, &mut en, encode_read_cmd(cap, 4096));
+    let mut done = false;
+    while !done {
+        match axis::pop(&ports.rd_data, &mut en) {
+            Some(b) => done = b.last,
+            None => {
+                if !en.step() {
+                    break;
+                }
+            }
+        }
+    }
+    assert!(done, "stream must terminate even on an OOB command");
+    assert!(streamer.stats().errors > 0);
+    assert_eq!(nvme.stats().errors, 1);
+}

@@ -1,0 +1,180 @@
+//! Ethernet frames.
+//!
+//! Frames carry real payload bytes (the case study streams image data
+//! through them). PAUSE frames follow IEEE 802.3 Annex 31B: EtherType
+//! 0x8808, MAC control opcode 0x0001, a 16-bit pause-quanta field, and the
+//! reserved multicast destination 01-80-C2-00-00-01.
+
+use std::fmt;
+
+/// EtherType for MAC control frames (PAUSE).
+pub const PAUSE_ETHERTYPE: u16 = 0x8808;
+/// MAC control opcode for PAUSE.
+pub const PAUSE_OPCODE: u16 = 0x0001;
+/// One pause quantum is 512 bit times.
+pub const PAUSE_QUANTUM_BITS: u64 = 512;
+/// Minimum Ethernet frame size (without preamble/IFG).
+pub const MIN_FRAME: usize = 64;
+/// Maximum standard payload (we allow jumbo frames up to 9000 too).
+pub const MAX_PAYLOAD: usize = 9000;
+/// Header (12 MAC + 2 EtherType) + trailing CRC bytes.
+pub const HEADER_CRC_BYTES: usize = 18;
+/// Preamble (8) + inter-frame gap (12) overhead on the wire per frame.
+pub const WIRE_OVERHEAD: u64 = 20;
+
+/// A 48-bit MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The 802.3x PAUSE multicast destination.
+    pub const PAUSE_MULTICAST: MacAddr = MacAddr([0x01, 0x80, 0xC2, 0x00, 0x00, 0x01]);
+
+    /// A deterministic test/bench address derived from an index.
+    pub fn from_index(i: u64) -> Self {
+        let b = i.to_be_bytes();
+        MacAddr([0x02, 0x5a, b[4], b[5], b[6], b[7]])
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// An Ethernet frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EthFrame {
+    /// Destination address.
+    pub dst: MacAddr,
+    /// Source address.
+    pub src: MacAddr,
+    /// EtherType.
+    pub ethertype: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl EthFrame {
+    /// A data frame (EtherType 0x88B5, local experimental).
+    pub fn data(dst: MacAddr, src: MacAddr, payload: Vec<u8>) -> Self {
+        assert!(payload.len() <= MAX_PAYLOAD, "payload exceeds jumbo MTU");
+        EthFrame {
+            dst,
+            src,
+            ethertype: 0x88B5,
+            payload,
+        }
+    }
+
+    /// A PAUSE frame requesting `quanta` pause quanta (0 = resume).
+    pub fn pause(src: MacAddr, quanta: u16) -> Self {
+        let mut payload = vec![0u8; 46]; // padded to minimum size
+        payload[0..2].copy_from_slice(&PAUSE_OPCODE.to_be_bytes());
+        payload[2..4].copy_from_slice(&quanta.to_be_bytes());
+        EthFrame {
+            dst: MacAddr::PAUSE_MULTICAST,
+            src,
+            ethertype: PAUSE_ETHERTYPE,
+            payload,
+        }
+    }
+
+    /// Is this a MAC-control PAUSE frame?
+    pub fn is_pause(&self) -> bool {
+        self.ethertype == PAUSE_ETHERTYPE
+            && self.payload.len() >= 4
+            && u16::from_be_bytes([self.payload[0], self.payload[1]]) == PAUSE_OPCODE
+    }
+
+    /// Pause quanta of a PAUSE frame.
+    pub fn pause_quanta(&self) -> Option<u16> {
+        self.is_pause()
+            .then(|| u16::from_be_bytes([self.payload[2], self.payload[3]]))
+    }
+
+    /// Frame size on the medium excluding preamble/IFG (header + payload +
+    /// CRC, padded to the 64-byte minimum).
+    pub fn frame_bytes(&self) -> u64 {
+        (self.payload.len() + HEADER_CRC_BYTES).max(MIN_FRAME) as u64
+    }
+
+    /// Total wire cost including preamble and inter-frame gap.
+    pub fn wire_bytes(&self) -> u64 {
+        self.frame_bytes() + WIRE_OVERHEAD
+    }
+}
+
+/// Duration of `quanta` pause quanta at `bits_per_sec` line rate, in
+/// picoseconds.
+pub fn pause_duration_ps(quanta: u16, bits_per_sec: f64) -> u64 {
+    let bits = quanta as u64 * PAUSE_QUANTUM_BITS;
+    (bits as f64 * 1e12 / bits_per_sec).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pause_frame_encoding() {
+        let p = EthFrame::pause(MacAddr::from_index(1), 0xffff);
+        assert!(p.is_pause());
+        assert_eq!(p.pause_quanta(), Some(0xffff));
+        assert_eq!(p.dst, MacAddr::PAUSE_MULTICAST);
+        // Padded to minimum frame size.
+        assert_eq!(p.frame_bytes(), 64);
+    }
+
+    #[test]
+    fn resume_is_zero_quanta() {
+        let p = EthFrame::pause(MacAddr::from_index(2), 0);
+        assert_eq!(p.pause_quanta(), Some(0));
+    }
+
+    #[test]
+    fn data_frame_not_pause() {
+        let f = EthFrame::data(MacAddr::from_index(1), MacAddr::from_index(2), vec![0; 100]);
+        assert!(!f.is_pause());
+        assert_eq!(f.pause_quanta(), None);
+        assert_eq!(f.frame_bytes(), 118);
+        assert_eq!(f.wire_bytes(), 138);
+    }
+
+    #[test]
+    fn small_frames_padded() {
+        let f = EthFrame::data(MacAddr::from_index(1), MacAddr::from_index(2), vec![1]);
+        assert_eq!(f.frame_bytes(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "jumbo")]
+    fn oversize_rejected() {
+        EthFrame::data(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            vec![0; MAX_PAYLOAD + 1],
+        );
+    }
+
+    #[test]
+    fn pause_duration_math() {
+        // 100 Gbit/s: one quantum = 512 bits = 5.12 ns.
+        let ps = pause_duration_ps(1, 100e9);
+        assert_eq!(ps, 5120);
+        let ps = pause_duration_ps(0xffff, 100e9);
+        assert_eq!(ps, 65535 * 5120);
+    }
+
+    #[test]
+    fn mac_addr_display() {
+        let m = MacAddr([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        assert_eq!(format!("{m:?}"), "de:ad:be:ef:00:01");
+    }
+}

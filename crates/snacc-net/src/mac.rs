@@ -1,0 +1,589 @@
+//! The Ethernet MAC: store-and-forward TX, bounded RX, 802.3x pause.
+//!
+//! Once an Ethernet frame starts on the wire it cannot be paused, so the
+//! MAC fully buffers each frame before transmission (paper Sec 4.7) and
+//! only checks the pause state between frames. PAUSE frames are MAC
+//! control traffic: they bypass the data queue (front insertion) and are
+//! never dropped for lack of TX budget.
+
+use crate::frame::{pause_duration_ps, EthFrame, MacAddr};
+use snacc_sim::{Bandwidth, Engine, SharedLink, SimDuration, SimRng, SimTime};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// MAC configuration.
+#[derive(Clone, Debug)]
+pub struct MacConfig {
+    /// Line rate (100 G Ethernet = 12.5 GB/s).
+    pub line_rate: Bandwidth,
+    /// One-way wire + PHY latency.
+    pub wire_latency: SimDuration,
+    /// RX buffer capacity in bytes.
+    pub rx_buffer_bytes: u64,
+    /// Occupancy at which a PAUSE is asserted.
+    pub pause_hi_watermark: u64,
+    /// Occupancy at which a resume (quanta 0) is sent.
+    pub pause_lo_watermark: u64,
+    /// TX queue capacity in bytes (full-frame buffering).
+    pub tx_queue_bytes: u64,
+    /// Is 802.3x flow control enabled?
+    pub flow_control: bool,
+    /// Quanta requested per PAUSE frame.
+    pub pause_quanta: u16,
+    /// Probability that a delivered frame is dropped as a CRC error
+    /// (failure injection; 0.0 in normal operation).
+    pub crc_error_rate: f64,
+}
+
+impl MacConfig {
+    /// A 100 G MAC with flow control on, sized like an FPGA MAC with a
+    /// 256 KiB RX buffer.
+    pub fn eth_100g() -> Self {
+        MacConfig {
+            line_rate: Bandwidth::gbit_per_s(100.0),
+            wire_latency: SimDuration::from_ns(500),
+            rx_buffer_bytes: 256 << 10,
+            pause_hi_watermark: 192 << 10,
+            pause_lo_watermark: 64 << 10,
+            tx_queue_bytes: 256 << 10,
+            flow_control: true,
+            pause_quanta: 0xffff,
+            crc_error_rate: 0.0,
+        }
+    }
+
+    /// Same, with flow control disabled (loss demonstration).
+    pub fn eth_100g_no_fc() -> Self {
+        MacConfig {
+            flow_control: false,
+            ..Self::eth_100g()
+        }
+    }
+}
+
+/// MAC statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MacStats {
+    /// Data frames transmitted.
+    pub tx_frames: u64,
+    /// Data bytes (payload) transmitted.
+    pub tx_payload_bytes: u64,
+    /// Data frames received into the RX buffer.
+    pub rx_frames: u64,
+    /// Payload bytes received.
+    pub rx_payload_bytes: u64,
+    /// Frames dropped at RX (buffer overrun).
+    pub rx_drops: u64,
+    /// Frames dropped as CRC errors (injected).
+    pub crc_drops: u64,
+    /// PAUSE frames sent (including resumes).
+    pub pauses_sent: u64,
+    /// PAUSE frames received.
+    pub pauses_received: u64,
+}
+
+type Hook = Rc<RefCell<dyn FnMut(&mut Engine)>>;
+
+/// A full-duplex Ethernet MAC endpoint.
+pub struct EthMac {
+    name: String,
+    addr: MacAddr,
+    cfg: MacConfig,
+    peer: Option<Rc<RefCell<EthMac>>>,
+    /// This MAC's transmit direction of the wire.
+    wire: SharedLink,
+    tx_queue: VecDeque<EthFrame>,
+    tx_queued_bytes: u64,
+    tx_in_flight: bool,
+    wait_scheduled: bool,
+    paused_until: SimTime,
+    rx_queue: VecDeque<EthFrame>,
+    rx_buffered_bytes: u64,
+    congested: bool,
+    last_pause_sent: SimTime,
+    /// A periodic pause-refresh timer is pending.
+    refresh_armed: bool,
+    rx_hook: Option<Hook>,
+    tx_space_hook: Option<Hook>,
+    rng: SimRng,
+    stats: MacStats,
+}
+
+impl EthMac {
+    /// Create a MAC endpoint (connect with [`connect`]).
+    pub fn new(name: impl Into<String>, addr: MacAddr, cfg: MacConfig, seed: u64) -> Rc<RefCell<EthMac>> {
+        let name = name.into();
+        let wire = SharedLink::new(format!("{name}.wire"), cfg.line_rate, cfg.wire_latency);
+        Rc::new(RefCell::new(EthMac {
+            name,
+            addr,
+            cfg,
+            peer: None,
+            wire,
+            tx_queue: VecDeque::new(),
+            tx_queued_bytes: 0,
+            tx_in_flight: false,
+            wait_scheduled: false,
+            paused_until: SimTime::ZERO,
+            rx_queue: VecDeque::new(),
+            rx_buffered_bytes: 0,
+            congested: false,
+            last_pause_sent: SimTime::ZERO,
+            refresh_armed: false,
+            rx_hook: None,
+            tx_space_hook: None,
+            rng: SimRng::new(seed),
+            stats: MacStats::default(),
+        }))
+    }
+
+    /// This MAC's address.
+    pub fn addr(&self) -> MacAddr {
+        self.addr
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> MacStats {
+        self.stats
+    }
+
+    /// Bytes currently buffered at RX.
+    pub fn rx_occupancy(&self) -> u64 {
+        self.rx_buffered_bytes
+    }
+
+    /// Frames waiting in the RX buffer.
+    pub fn rx_pending(&self) -> usize {
+        self.rx_queue.len()
+    }
+
+    /// Can the TX queue accept a frame of `payload_len` bytes?
+    pub fn tx_has_space(&self, payload_len: usize) -> bool {
+        self.tx_queued_bytes + payload_len as u64 <= self.cfg.tx_queue_bytes
+    }
+
+    /// Size (frame bytes) of the frame at the head of the RX buffer.
+    pub fn rx_peek_bytes(&self) -> Option<u64> {
+        self.rx_queue.front().map(|f| f.frame_bytes())
+    }
+
+    /// Destination address of the frame at the head of the RX buffer.
+    pub fn rx_peek_dst(&self) -> Option<MacAddr> {
+        self.rx_queue.front().map(|f| f.dst)
+    }
+
+    /// Source address of the frame at the head of the RX buffer.
+    pub fn rx_peek_src(&self) -> Option<MacAddr> {
+        self.rx_queue.front().map(|f| f.src)
+    }
+
+    /// Is this MAC currently honouring a received PAUSE?
+    pub fn is_paused(&self, now: SimTime) -> bool {
+        now < self.paused_until
+    }
+
+    /// Install the "frames available at RX" hook.
+    pub fn set_rx_hook(&mut self, hook: impl FnMut(&mut Engine) + 'static) {
+        self.rx_hook = Some(Rc::new(RefCell::new(hook)));
+    }
+
+    /// Install the "TX queue drained a frame" hook.
+    pub fn set_tx_space_hook(&mut self, hook: impl FnMut(&mut Engine) + 'static) {
+        self.tx_space_hook = Some(Rc::new(RefCell::new(hook)));
+    }
+}
+
+/// Connect two MAC endpoints back to back (or to switch ports).
+pub fn connect(a: &Rc<RefCell<EthMac>>, b: &Rc<RefCell<EthMac>>) {
+    a.borrow_mut().peer = Some(b.clone());
+    b.borrow_mut().peer = Some(a.clone());
+}
+
+/// Enqueue a data frame for transmission. Returns `false` (frame refused)
+/// when the TX queue is full — the caller must retry on the TX-space hook.
+pub fn send(rc: &Rc<RefCell<EthMac>>, en: &mut Engine, frame: EthFrame) -> bool {
+    {
+        let mut m = rc.borrow_mut();
+        let cost = frame.frame_bytes();
+        if m.tx_queued_bytes + cost > m.cfg.tx_queue_bytes {
+            return false;
+        }
+        m.tx_queued_bytes += cost;
+        m.tx_queue.push_back(frame);
+    }
+    pump_tx(rc, en);
+    true
+}
+
+/// Pop a received frame, possibly emitting a resume PAUSE when the buffer
+/// drains below the low watermark.
+pub fn pop_frame(rc: &Rc<RefCell<EthMac>>, en: &mut Engine) -> Option<EthFrame> {
+    let (frame, resume) = {
+        let mut m = rc.borrow_mut();
+        let frame = m.rx_queue.pop_front()?;
+        m.rx_buffered_bytes -= frame.frame_bytes();
+        let resume =
+            m.cfg.flow_control && m.congested && m.rx_buffered_bytes <= m.cfg.pause_lo_watermark;
+        if resume {
+            m.congested = false;
+        }
+        (frame, resume)
+    };
+    if resume {
+        send_pause(rc, en, 0);
+    }
+    Some(frame)
+}
+
+/// Queue a PAUSE/resume frame with control-frame priority. Asserting a
+/// pause also arms a periodic refresh timer: as long as the receiver
+/// stays congested, a fresh PAUSE goes out every half pause-duration so
+/// a long-stalled sink cannot let the sender's pause expire (real MACs
+/// refresh from a timer, not from frame arrivals).
+fn send_pause(rc: &Rc<RefCell<EthMac>>, en: &mut Engine, quanta: u16) {
+    let arm = {
+        let mut m = rc.borrow_mut();
+        let src = m.addr;
+        // Control frames bypass the data budget and go to the front.
+        m.tx_queue.push_front(EthFrame::pause(src, quanta));
+        m.stats.pauses_sent += 1;
+        m.last_pause_sent = en.now();
+        let dur_ps = pause_duration_ps(
+            m.cfg.pause_quanta,
+            m.cfg.line_rate.bytes_per_sec() * 8.0,
+        );
+        if quanta > 0 && !m.refresh_armed {
+            m.refresh_armed = true;
+            Some(SimDuration::from_ps(dur_ps / 2))
+        } else {
+            None
+        }
+    };
+    if let Some(delay) = arm {
+        let rc2 = rc.clone();
+        en.schedule_in(delay, move |en| {
+            let still = {
+                let mut m = rc2.borrow_mut();
+                m.refresh_armed = false;
+                m.congested
+            };
+            if still {
+                let q = rc2.borrow().cfg.pause_quanta;
+                send_pause(&rc2, en, q);
+            }
+        });
+    }
+    pump_tx(rc, en);
+}
+
+enum TxAction {
+    None,
+    Wait(SimTime),
+    Send(EthFrame),
+}
+
+/// Advance the transmit side: send the next frame if allowed.
+pub fn pump_tx(rc: &Rc<RefCell<EthMac>>, en: &mut Engine) {
+    let action = {
+        let mut m = rc.borrow_mut();
+        if m.tx_in_flight || m.wait_scheduled {
+            TxAction::None
+        } else if let Some(head) = m.tx_queue.front() {
+            let is_pause = head.is_pause();
+            if !is_pause && en.now() < m.paused_until {
+                TxAction::Wait(m.paused_until)
+            } else {
+                let f = m.tx_queue.pop_front().expect("head exists");
+                if !f.is_pause() {
+                    m.tx_queued_bytes -= f.frame_bytes();
+                    m.stats.tx_frames += 1;
+                    m.stats.tx_payload_bytes += f.payload.len() as u64;
+                }
+                m.tx_in_flight = true;
+                TxAction::Send(f)
+            }
+        } else {
+            TxAction::None
+        }
+    };
+    match action {
+        TxAction::None => {}
+        TxAction::Wait(until) => {
+            {
+                rc.borrow_mut().wait_scheduled = true;
+            }
+            let rc2 = rc.clone();
+            en.schedule_at(until, move |en| {
+                rc2.borrow_mut().wait_scheduled = false;
+                pump_tx(&rc2, en);
+            });
+        }
+        TxAction::Send(frame) => {
+            let (arrival, tx_free, peer, tx_hook) = {
+                let mut m = rc.borrow_mut();
+                let arrival = m.wire.transfer(en.now(), frame.wire_bytes());
+                let tx_free = arrival - m.cfg.wire_latency;
+                (arrival, tx_free, m.peer.clone(), m.tx_space_hook.clone())
+            };
+            // TX side becomes free when the last byte leaves.
+            let rc2 = rc.clone();
+            en.schedule_at(tx_free, move |en| {
+                rc2.borrow_mut().tx_in_flight = false;
+                pump_tx(&rc2, en);
+                if let Some(h) = &tx_hook {
+                    (h.borrow_mut())(en);
+                }
+            });
+            // Frame arrives at the peer after wire latency.
+            if let Some(peer) = peer {
+                en.schedule_at(arrival, move |en| deliver(&peer, en, frame));
+            }
+        }
+    }
+}
+
+/// Deliver a frame arriving from the wire to this MAC.
+fn deliver(rc: &Rc<RefCell<EthMac>>, en: &mut Engine, frame: EthFrame) {
+    enum RxAction {
+        None,
+        Notify,
+        NotifyAndPause(u16),
+    }
+    let mut return_action_repump = false;
+    let action = {
+        let mut m = rc.borrow_mut();
+        // Injected CRC errors drop the frame on arrival.
+        let crc_rate = m.cfg.crc_error_rate;
+        if crc_rate > 0.0 && m.rng.gen_bool(crc_rate) {
+            m.stats.crc_drops += 1;
+            return;
+        }
+        if let Some(quanta) = frame.pause_quanta() {
+            m.stats.pauses_received += 1;
+            if m.cfg.flow_control {
+                let dur = SimDuration::from_ps(pause_duration_ps(
+                    quanta,
+                    m.cfg.line_rate.bytes_per_sec() * 8.0,
+                ));
+                let new_until = en.now() + dur;
+                let shortened = new_until < m.paused_until;
+                m.paused_until = new_until;
+                if shortened || quanta == 0 {
+                    // A resume (or shorter pause) releases the TX path now;
+                    // the pending wait event holds the stale deadline.
+                    m.wait_scheduled = false;
+                    return_action_repump = true;
+                }
+            }
+            RxAction::None
+        } else {
+            let cost = frame.frame_bytes();
+            if m.rx_buffered_bytes + cost > m.cfg.rx_buffer_bytes {
+                m.stats.rx_drops += 1;
+                RxAction::None
+            } else {
+                m.rx_buffered_bytes += cost;
+                m.stats.rx_frames += 1;
+                m.stats.rx_payload_bytes += frame.payload.len() as u64;
+                m.rx_queue.push_back(frame);
+                if m.cfg.flow_control && m.rx_buffered_bytes >= m.cfg.pause_hi_watermark {
+                    // Assert (or refresh) the pause. Refresh is rate-limited
+                    // to half the pause duration so a long-stalled sink
+                    // cannot let the pause expire.
+                    let dur_ps = pause_duration_ps(
+                        m.cfg.pause_quanta,
+                        m.cfg.line_rate.bytes_per_sec() * 8.0,
+                    );
+                    let refresh_after = SimDuration::from_ps(dur_ps / 2);
+                    let need = !m.congested || en.now() >= m.last_pause_sent + refresh_after;
+                    if need {
+                        m.congested = true;
+                        RxAction::NotifyAndPause(m.cfg.pause_quanta)
+                    } else {
+                        RxAction::Notify
+                    }
+                } else {
+                    RxAction::Notify
+                }
+            }
+        }
+    };
+    if return_action_repump {
+        pump_tx(rc, en);
+    }
+    match action {
+        RxAction::None => {}
+        RxAction::Notify => notify_rx(rc, en),
+        RxAction::NotifyAndPause(q) => {
+            send_pause(rc, en, q);
+            notify_rx(rc, en);
+        }
+    }
+}
+
+fn notify_rx(rc: &Rc<RefCell<EthMac>>, en: &mut Engine) {
+    let hook = rc.borrow().rx_hook.clone();
+    if let Some(h) = hook {
+        (h.borrow_mut())(en);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(cfg_a: MacConfig, cfg_b: MacConfig) -> (Rc<RefCell<EthMac>>, Rc<RefCell<EthMac>>) {
+        let a = EthMac::new("a", MacAddr::from_index(1), cfg_a, 11);
+        let b = EthMac::new("b", MacAddr::from_index(2), cfg_b, 22);
+        connect(&a, &b);
+        (a, b)
+    }
+
+    #[test]
+    fn frame_delivery() {
+        let mut en = Engine::new();
+        let (a, b) = pair(MacConfig::eth_100g(), MacConfig::eth_100g());
+        let f = EthFrame::data(MacAddr::from_index(2), MacAddr::from_index(1), vec![9u8; 1000]);
+        assert!(send(&a, &mut en, f.clone()));
+        en.run();
+        let got = pop_frame(&b, &mut en).expect("frame arrives");
+        assert_eq!(got, f);
+        assert_eq!(b.borrow().stats().rx_frames, 1);
+    }
+
+    #[test]
+    fn line_rate_timing() {
+        let mut en = Engine::new();
+        let (a, _b) = pair(MacConfig::eth_100g(), MacConfig::eth_100g());
+        // 4096 B payload → 4114 frame + 20 overhead = 4134 wire bytes at
+        // 12.5 GB/s ≈ 330.7 ns + 500 ns latency.
+        let f = EthFrame::data(MacAddr::from_index(2), MacAddr::from_index(1), vec![0; 4096]);
+        send(&a, &mut en, f);
+        let end = en.run();
+        let ns = end.as_ns();
+        assert!((830..=835).contains(&ns), "{ns}");
+    }
+
+    #[test]
+    fn slow_sink_without_fc_drops() {
+        let mut en = Engine::new();
+        let (a, b) = pair(MacConfig::eth_100g_no_fc(), MacConfig::eth_100g_no_fc());
+        // Never pop at b: rx buffer (256 KiB) overruns.
+        for i in 0..200 {
+            let f = EthFrame::data(
+                MacAddr::from_index(2),
+                MacAddr::from_index(1),
+                vec![i as u8; 4096],
+            );
+            // Retry until accepted (tx queue drains at line rate).
+            while !send(&a, &mut en, f.clone()) {
+                en.step();
+            }
+        }
+        en.run();
+        assert!(b.borrow().stats().rx_drops > 0, "expected overruns");
+    }
+
+    #[test]
+    fn slow_sink_with_fc_is_lossless() {
+        let mut en = Engine::new();
+        let (a, b) = pair(MacConfig::eth_100g(), MacConfig::eth_100g());
+        let total = 300u64;
+        let mut sent = 0u64;
+        // Drain slowly: pop one frame every 10 µs (≈ 0.4 GB/s).
+        fn drain(b: Rc<RefCell<EthMac>>, en: &mut Engine, popped: Rc<RefCell<u64>>) {
+            let _ = pop_frame(&b, en);
+            *popped.borrow_mut() += 1;
+            en.schedule_in(SimDuration::from_us(10), move |en| drain(b, en, popped));
+        }
+        let popped = Rc::new(RefCell::new(0u64));
+        let b2 = b.clone();
+        let p2 = popped.clone();
+        en.schedule_at(SimTime::ZERO, move |en| drain(b2, en, p2));
+        while sent < total {
+            let f = EthFrame::data(
+                MacAddr::from_index(2),
+                MacAddr::from_index(1),
+                vec![sent as u8; 4096],
+            );
+            if send(&a, &mut en, f) {
+                sent += 1;
+            } else if !en.step() {
+                break;
+            }
+        }
+        // Run long enough for the slow drain to finish.
+        en.run_until(SimTime::ZERO + SimDuration::from_ms(10));
+        let sb = b.borrow().stats();
+        assert_eq!(sb.rx_drops, 0, "flow control must prevent loss");
+        assert_eq!(sb.rx_frames, total);
+        assert!(sb.pauses_sent > 0, "pause must have been asserted");
+        assert!(a.borrow().stats().pauses_received > 0);
+    }
+
+    #[test]
+    fn pause_frame_pauses_sender() {
+        let mut en = Engine::new();
+        let (a, b) = pair(MacConfig::eth_100g(), MacConfig::eth_100g());
+        // b explicitly sends a pause; a must stop transmitting data.
+        send_pause(&b, &mut en, 0xffff);
+        en.run();
+        assert!(a.borrow().is_paused(en.now()));
+        // A queued data frame waits ~335 µs (0xffff quanta at 100 G).
+        let f = EthFrame::data(MacAddr::from_index(2), MacAddr::from_index(1), vec![0; 512]);
+        send(&a, &mut en, f);
+        let end = en.run();
+        assert!(end.as_us_f64() > 330.0, "{}", end.as_us_f64());
+        assert_eq!(b.borrow().stats().rx_frames, 1);
+    }
+
+    #[test]
+    fn resume_unpauses_early() {
+        let mut en = Engine::new();
+        let (a, b) = pair(MacConfig::eth_100g(), MacConfig::eth_100g());
+        send_pause(&b, &mut en, 0xffff);
+        en.run();
+        assert!(a.borrow().is_paused(en.now()));
+        send_pause(&b, &mut en, 0); // resume
+        en.run();
+        assert!(!a.borrow().is_paused(en.now()));
+    }
+
+    #[test]
+    fn crc_errors_drop_frames() {
+        let mut en = Engine::new();
+        let mut cfg = MacConfig::eth_100g();
+        cfg.crc_error_rate = 1.0;
+        let (a, b) = pair(MacConfig::eth_100g(), cfg);
+        let f = EthFrame::data(MacAddr::from_index(2), MacAddr::from_index(1), vec![0; 100]);
+        send(&a, &mut en, f);
+        en.run();
+        assert_eq!(b.borrow().stats().crc_drops, 1);
+        assert_eq!(b.borrow().stats().rx_frames, 0);
+    }
+
+    #[test]
+    fn tx_queue_limit_enforced() {
+        let mut en = Engine::new();
+        let (a, _b) = pair(MacConfig::eth_100g(), MacConfig::eth_100g());
+        let mut accepted = 0;
+        loop {
+            let f = EthFrame::data(MacAddr::from_index(2), MacAddr::from_index(1), vec![0; 8000]);
+            if !send(&a, &mut en, f) {
+                break;
+            }
+            accepted += 1;
+            if accepted > 1000 {
+                panic!("tx queue never filled");
+            }
+        }
+        // 256 KiB / ~8 KiB ≈ 32 frames (first may already be in flight).
+        assert!((30..=35).contains(&accepted), "{accepted}");
+    }
+}

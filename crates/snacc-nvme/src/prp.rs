@@ -1,0 +1,340 @@
+//! Physical Region Page handling (paper Sec 2.2 / 4.4).
+//!
+//! Two halves:
+//!
+//! * [`walk_prps`] — the device-side walker: resolve a command's
+//!   `(PRP1, PRP2, length)` into the page addresses of its data buffer,
+//!   fetching PRP-list pages (and chained lists) through a caller-supplied
+//!   reader. The NVMe controller model uses this with a closure that
+//!   performs real fabric reads — which is exactly how SNAcc's on-the-fly
+//!   PRP computation gets exercised: the "list page" the device reads is
+//!   synthesised by the streamer instead of stored in memory.
+//! * [`PrpListBuilder`] — the host-side builder used by the SPDK-style
+//!   driver: lay out stored PRP lists in memory pages, chaining when a
+//!   command needs more than 512 entries.
+
+use crate::spec::NVME_PAGE;
+
+/// Entries per PRP-list page (4096 / 8).
+pub const ENTRIES_PER_LIST: usize = 512;
+
+/// One contiguous piece of a command's data buffer (≤ one page).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrpSeg {
+    /// Fabric address of the segment.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// PRP resolution errors (reported as `Invalid Field` completions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrpError {
+    /// A non-first PRP entry was not page-aligned.
+    Misaligned(u64),
+    /// A required entry was zero.
+    NullEntry,
+    /// Zero-length command.
+    EmptyTransfer,
+}
+
+/// Resolve the data-buffer layout of a command.
+///
+/// `read_list_page(addr)` must return the 4096 bytes of the PRP list page
+/// at `addr` (the device model backs this with a fabric read).
+pub fn walk_prps(
+    prp1: u64,
+    prp2: u64,
+    byte_len: u64,
+    mut read_list_page: impl FnMut(u64) -> [u8; NVME_PAGE as usize],
+) -> Result<Vec<PrpSeg>, PrpError> {
+    if byte_len == 0 {
+        return Err(PrpError::EmptyTransfer);
+    }
+    if prp1 == 0 {
+        return Err(PrpError::NullEntry);
+    }
+    let first_off = prp1 % NVME_PAGE;
+    let first_len = (NVME_PAGE - first_off).min(byte_len);
+    let mut segs = vec![PrpSeg {
+        addr: prp1,
+        len: first_len,
+    }];
+    let mut remaining = byte_len - first_len;
+    if remaining == 0 {
+        return Ok(segs);
+    }
+
+    // Exactly one more page → PRP2 is the second data page.
+    if remaining <= NVME_PAGE {
+        if prp2 == 0 {
+            return Err(PrpError::NullEntry);
+        }
+        if prp2 % NVME_PAGE != 0 {
+            return Err(PrpError::Misaligned(prp2));
+        }
+        segs.push(PrpSeg {
+            addr: prp2,
+            len: remaining,
+        });
+        return Ok(segs);
+    }
+
+    // PRP2 points at a (possibly chained) list.
+    if prp2 == 0 {
+        return Err(PrpError::NullEntry);
+    }
+    // List pointers may carry an offset into the list page per spec; we
+    // require entry alignment (8 B).
+    if prp2 % 8 != 0 {
+        return Err(PrpError::Misaligned(prp2));
+    }
+    let mut list_addr = prp2;
+    'outer: loop {
+        let page_base = list_addr / NVME_PAGE * NVME_PAGE;
+        let start_idx = ((list_addr % NVME_PAGE) / 8) as usize;
+        let page = read_list_page(page_base);
+        for idx in start_idx..ENTRIES_PER_LIST {
+            let off = idx * 8;
+            let entry = u64::from_le_bytes(page[off..off + 8].try_into().unwrap());
+            let pages_left = snacc_sim::ceil_div(remaining, NVME_PAGE);
+            // If more pages remain than entries in this list, the last
+            // entry chains to the next list page.
+            if idx == ENTRIES_PER_LIST - 1 && pages_left > 1 {
+                if entry == 0 {
+                    return Err(PrpError::NullEntry);
+                }
+                if entry % 8 != 0 {
+                    return Err(PrpError::Misaligned(entry));
+                }
+                list_addr = entry;
+                continue 'outer;
+            }
+            if entry == 0 {
+                return Err(PrpError::NullEntry);
+            }
+            if entry % NVME_PAGE != 0 {
+                return Err(PrpError::Misaligned(entry));
+            }
+            let take = remaining.min(NVME_PAGE);
+            segs.push(PrpSeg {
+                addr: entry,
+                len: take,
+            });
+            remaining -= take;
+            if remaining == 0 {
+                break 'outer;
+            }
+        }
+    }
+    Ok(segs)
+}
+
+/// Host-side PRP construction: produces `(prp1, prp2)` for a command over
+/// the given data pages, writing any required list pages through the
+/// supplied sink.
+pub struct PrpListBuilder {
+    /// Allocator for list pages (returns a page-aligned address).
+    list_pages: Vec<u64>,
+    next: usize,
+}
+
+impl PrpListBuilder {
+    /// Builder drawing list pages from a pre-allocated pool.
+    pub fn new(list_pages: Vec<u64>) -> Self {
+        assert!(list_pages.iter().all(|a| a % NVME_PAGE == 0));
+        PrpListBuilder {
+            list_pages,
+            next: 0,
+        }
+    }
+
+    /// Reset the pool cursor (list pages may be reused across commands
+    /// once the previous command completed).
+    pub fn reset(&mut self) {
+        self.next = 0;
+    }
+
+    fn alloc(&mut self) -> u64 {
+        let a = self.list_pages[self.next];
+        self.next += 1;
+        a
+    }
+
+    /// Build PRPs for a buffer made of the given data page addresses
+    /// (first may be the only partial one). `write_mem(addr, bytes)` stores
+    /// list pages. Returns `(prp1, prp2)`.
+    pub fn build(
+        &mut self,
+        data_pages: &[u64],
+        mut write_mem: impl FnMut(u64, &[u8]),
+    ) -> (u64, u64) {
+        assert!(!data_pages.is_empty());
+        let prp1 = data_pages[0];
+        if data_pages.len() == 1 {
+            return (prp1, 0);
+        }
+        if data_pages.len() == 2 {
+            return (prp1, data_pages[1]);
+        }
+        // List needed for pages[1..].
+        let mut remaining = &data_pages[1..];
+        let first_list = self.alloc();
+        let mut list_addr = first_list;
+        loop {
+            let mut page = [0u8; NVME_PAGE as usize];
+            let chains = remaining.len() > ENTRIES_PER_LIST;
+            let take = if chains {
+                ENTRIES_PER_LIST - 1
+            } else {
+                remaining.len()
+            };
+            for (i, &p) in remaining[..take].iter().enumerate() {
+                page[i * 8..i * 8 + 8].copy_from_slice(&p.to_le_bytes());
+            }
+            if chains {
+                let next_list = self.alloc();
+                let o = (ENTRIES_PER_LIST - 1) * 8;
+                page[o..o + 8].copy_from_slice(&next_list.to_le_bytes());
+                write_mem(list_addr, &page);
+                list_addr = next_list;
+                remaining = &remaining[take..];
+            } else {
+                write_mem(list_addr, &page);
+                break;
+            }
+        }
+        (prp1, first_list)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use snacc_mem::SparseMemory;
+
+    fn mem_reader(mem: &mut SparseMemory) -> impl FnMut(u64) -> [u8; 4096] + '_ {
+        |addr| {
+            let mut p = [0u8; 4096];
+            mem.read(addr, &mut p);
+            p
+        }
+    }
+
+    #[test]
+    fn single_page() {
+        let segs = walk_prps(0x1000, 0, 4096, |_| unreachable!()).unwrap();
+        assert_eq!(
+            segs,
+            vec![PrpSeg {
+                addr: 0x1000,
+                len: 4096
+            }]
+        );
+    }
+
+    #[test]
+    fn offset_first_page() {
+        // PRP1 with an offset: first segment is the page remainder.
+        let segs = walk_prps(0x1100, 0x2000, 4096, |_| unreachable!()).unwrap();
+        assert_eq!(segs[0], PrpSeg { addr: 0x1100, len: 0xf00 });
+        assert_eq!(segs[1], PrpSeg { addr: 0x2000, len: 4096 - 0xf00 });
+    }
+
+    #[test]
+    fn two_pages_uses_prp2_directly() {
+        let segs = walk_prps(0x1000, 0x8000, 8192, |_| unreachable!()).unwrap();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[1], PrpSeg { addr: 0x8000, len: 4096 });
+    }
+
+    #[test]
+    fn list_for_one_megabyte() {
+        // 1 MiB = 256 pages: PRP1 + list with 255 entries.
+        let mut mem = SparseMemory::new();
+        let pages: Vec<u64> = (0..256u64).map(|i| 0x10_0000 + i * 4096).collect();
+        let mut b = PrpListBuilder::new(vec![0xA000_0000]);
+        let (prp1, prp2) = b.build(&pages, |a, d| mem.write(a, d));
+        assert_eq!(prp1, pages[0]);
+        assert_eq!(prp2, 0xA000_0000);
+        let segs = walk_prps(prp1, prp2, 1 << 20, mem_reader(&mut mem)).unwrap();
+        assert_eq!(segs.len(), 256);
+        for (i, s) in segs.iter().enumerate() {
+            assert_eq!(s.addr, pages[i]);
+            assert_eq!(s.len, 4096);
+        }
+    }
+
+    #[test]
+    fn chained_lists_beyond_512_entries() {
+        // 3 MiB = 768 pages → PRP1 + 767 list entries → chained lists.
+        let mut mem = SparseMemory::new();
+        let pages: Vec<u64> = (0..768u64).map(|i| 0x4000_0000 + i * 4096).collect();
+        let mut b = PrpListBuilder::new(vec![0xB000_0000, 0xB000_1000]);
+        let (prp1, prp2) = b.build(&pages, |a, d| mem.write(a, d));
+        let segs = walk_prps(prp1, prp2, 3 << 20, mem_reader(&mut mem)).unwrap();
+        assert_eq!(segs.len(), 768);
+        assert_eq!(segs.last().unwrap().addr, *pages.last().unwrap());
+    }
+
+    #[test]
+    fn misaligned_entry_rejected() {
+        let r = walk_prps(0x1000, 0x8001, 8192, |_| unreachable!());
+        assert_eq!(r, Err(PrpError::Misaligned(0x8001)));
+    }
+
+    #[test]
+    fn null_entries_rejected() {
+        assert_eq!(
+            walk_prps(0, 0, 4096, |_| unreachable!()),
+            Err(PrpError::NullEntry)
+        );
+        assert_eq!(
+            walk_prps(0x1000, 0, 8192, |_| unreachable!()),
+            Err(PrpError::NullEntry)
+        );
+        assert_eq!(
+            walk_prps(0x1000, 0, 0, |_| unreachable!()),
+            Err(PrpError::EmptyTransfer)
+        );
+    }
+
+    #[test]
+    fn partial_tail_page() {
+        // 10000 bytes from an aligned start: 4096 + 4096 + 1808.
+        let mut mem = SparseMemory::new();
+        let pages = vec![0x1000, 0x2000, 0x3000];
+        let mut b = PrpListBuilder::new(vec![0xC000_0000]);
+        let (prp1, prp2) = b.build(&pages, |a, d| mem.write(a, d));
+        let segs = walk_prps(prp1, prp2, 10000, mem_reader(&mut mem)).unwrap();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[2].len, 10000 - 8192);
+    }
+
+    proptest! {
+        /// The builder and the walker are inverses: for arbitrary page
+        /// counts and lengths, walking the built PRPs recovers the exact
+        /// page sequence and covers exactly `len` bytes.
+        #[test]
+        fn builder_walker_roundtrip(
+            n_pages in 1usize..1400,
+            tail in 1u64..=4096,
+        ) {
+            let mut mem = SparseMemory::new();
+            let pages: Vec<u64> =
+                (0..n_pages as u64).map(|i| 0x1_0000_0000 + i * 4096).collect();
+            let len = (n_pages as u64 - 1) * 4096 + tail;
+            let lists: Vec<u64> = (0..4).map(|i| 0xF000_0000 + i * 4096).collect();
+            let mut b = PrpListBuilder::new(lists);
+            let (prp1, prp2) = b.build(&pages, |a, d| mem.write(a, d));
+            let segs = walk_prps(prp1, prp2, len, mem_reader(&mut mem)).unwrap();
+            prop_assert_eq!(segs.len(), n_pages);
+            let covered: u64 = segs.iter().map(|s| s.len).sum();
+            prop_assert_eq!(covered, len);
+            for (s, p) in segs.iter().zip(&pages) {
+                prop_assert_eq!(s.addr, *p);
+            }
+        }
+    }
+}

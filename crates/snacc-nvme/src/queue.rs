@@ -1,0 +1,276 @@
+//! Submission / completion ring arithmetic.
+//!
+//! Shared by everything that drives an NVMe controller: the SPDK-style
+//! host driver, the SNAcc host initialisation driver, and the NVMe
+//! Streamer's hardware queues. Encapsulates the wrap/phase rules so they
+//! are tested once.
+
+use crate::spec::{CQE_BYTES, SQE_BYTES};
+
+/// Host-side view of a submission queue ring.
+#[derive(Clone, Debug)]
+pub struct SqRing {
+    base: u64,
+    entries: u16,
+    tail: u16,
+    head: u16,
+}
+
+impl SqRing {
+    /// A ring of `entries` slots at fabric address `base`.
+    pub fn new(base: u64, entries: u16) -> Self {
+        assert!(entries >= 2, "NVMe queues need at least 2 entries");
+        SqRing {
+            base,
+            entries,
+            tail: 0,
+            head: 0,
+        }
+    }
+
+    /// Fabric base address of the ring.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Ring size in entries.
+    pub fn entries(&self) -> u16 {
+        self.entries
+    }
+
+    /// Current tail index.
+    pub fn tail(&self) -> u16 {
+        self.tail
+    }
+
+    /// Current head index (as last reported by the controller).
+    pub fn head(&self) -> u16 {
+        self.head
+    }
+
+    /// Number of occupied slots.
+    pub fn occupancy(&self) -> u16 {
+        (self.tail + self.entries - self.head) % self.entries
+    }
+
+    /// A ring is full when advancing the tail would collide with the head
+    /// (one slot is always kept empty, per spec).
+    pub fn is_full(&self) -> bool {
+        (self.tail + 1) % self.entries == self.head
+    }
+
+    /// Address of the next free SQE slot; call
+    /// [`advance_tail`](Self::advance_tail) after writing the entry.
+    pub fn tail_addr(&self) -> u64 {
+        self.base + self.tail as u64 * SQE_BYTES
+    }
+
+    /// Advance the tail after writing one entry; returns the new tail
+    /// value to ring the doorbell with. Panics if the ring was full.
+    pub fn advance_tail(&mut self) -> u16 {
+        assert!(!self.is_full(), "SQ overflow");
+        self.tail = (self.tail + 1) % self.entries;
+        self.tail
+    }
+
+    /// Record the controller-reported head from a CQE.
+    pub fn update_head(&mut self, head: u16) {
+        assert!(head < self.entries, "bogus SQ head");
+        self.head = head;
+    }
+}
+
+/// Host-side view of a completion queue ring with phase tracking.
+#[derive(Clone, Debug)]
+pub struct CqRing {
+    base: u64,
+    entries: u16,
+    head: u16,
+    phase: bool,
+}
+
+impl CqRing {
+    /// A ring of `entries` slots at fabric address `base`. The expected
+    /// phase starts at `true` (the controller writes phase 1 on the first
+    /// pass).
+    pub fn new(base: u64, entries: u16) -> Self {
+        assert!(entries >= 2, "NVMe queues need at least 2 entries");
+        CqRing {
+            base,
+            entries,
+            head: 0,
+            phase: true,
+        }
+    }
+
+    /// Fabric base address of the ring.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Ring size in entries.
+    pub fn entries(&self) -> u16 {
+        self.entries
+    }
+
+    /// Current head index.
+    pub fn head(&self) -> u16 {
+        self.head
+    }
+
+    /// The phase value a *new* (unconsumed) entry at the head would carry.
+    pub fn expected_phase(&self) -> bool {
+        self.phase
+    }
+
+    /// Address of the entry at the current head.
+    pub fn head_addr(&self) -> u64 {
+        self.base + self.head as u64 * CQE_BYTES
+    }
+
+    /// Consume the entry at the head: advances, flipping expected phase on
+    /// wrap. Returns the new head (to write to the CQ head doorbell).
+    pub fn consume(&mut self) -> u16 {
+        self.head += 1;
+        if self.head == self.entries {
+            self.head = 0;
+            self.phase = !self.phase;
+        }
+        self.head
+    }
+}
+
+/// Device-side phase generator for a completion queue: tracks the tail and
+/// the phase bit the controller must write.
+#[derive(Clone, Debug)]
+pub struct CqWriter {
+    entries: u16,
+    tail: u16,
+    phase: bool,
+}
+
+impl CqWriter {
+    /// Writer for a ring of `entries` slots.
+    pub fn new(entries: u16) -> Self {
+        assert!(entries >= 2);
+        CqWriter {
+            entries,
+            tail: 0,
+            phase: true,
+        }
+    }
+
+    /// Slot index + phase for the next completion; advances the tail.
+    pub fn next_slot(&mut self) -> (u16, bool) {
+        let slot = self.tail;
+        let phase = self.phase;
+        self.tail += 1;
+        if self.tail == self.entries {
+            self.tail = 0;
+            self.phase = !self.phase;
+        }
+        (slot, phase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sq_wraps_and_fills() {
+        let mut sq = SqRing::new(0x1000, 4);
+        assert_eq!(sq.occupancy(), 0);
+        assert!(!sq.is_full());
+        assert_eq!(sq.tail_addr(), 0x1000);
+        sq.advance_tail();
+        sq.advance_tail();
+        sq.advance_tail(); // 3 of 4 slots used → full (one kept empty)
+        assert!(sq.is_full());
+        assert_eq!(sq.occupancy(), 3);
+        // Controller consumes one.
+        sq.update_head(1);
+        assert!(!sq.is_full());
+        assert_eq!(sq.occupancy(), 2);
+        // Tail wraps to 0.
+        assert_eq!(sq.advance_tail(), 0);
+        assert_eq!(sq.tail_addr(), 0x1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "SQ overflow")]
+    fn sq_overflow_panics() {
+        let mut sq = SqRing::new(0, 2);
+        sq.advance_tail();
+        sq.advance_tail();
+    }
+
+    #[test]
+    fn cq_phase_flips_on_wrap() {
+        let mut cq = CqRing::new(0x2000, 2);
+        assert!(cq.expected_phase());
+        assert_eq!(cq.head_addr(), 0x2000);
+        cq.consume();
+        assert!(cq.expected_phase());
+        assert_eq!(cq.head_addr(), 0x2000 + CQE_BYTES);
+        cq.consume(); // wrap
+        assert!(!cq.expected_phase());
+        assert_eq!(cq.head_addr(), 0x2000);
+    }
+
+    #[test]
+    fn writer_matches_reader_phase() {
+        // The device-side writer and host-side reader must agree on phase
+        // for an arbitrary number of completions.
+        let entries = 8;
+        let mut w = CqWriter::new(entries);
+        let mut r = CqRing::new(0, entries);
+        for _ in 0..100 {
+            let (slot, phase) = w.next_slot();
+            assert_eq!(slot, r.head());
+            assert_eq!(phase, r.expected_phase());
+            r.consume();
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn occupancy_never_exceeds_capacity(
+            entries in 2u16..64,
+            ops in proptest::collection::vec(any::<bool>(), 0..200),
+        ) {
+            let mut sq = SqRing::new(0, entries);
+            let mut submitted: u64 = 0;
+            let mut consumed: u64 = 0;
+            for push in ops {
+                if push {
+                    if !sq.is_full() {
+                        sq.advance_tail();
+                        submitted += 1;
+                    }
+                } else if consumed < submitted {
+                    consumed += 1;
+                    sq.update_head((consumed % entries as u64) as u16);
+                }
+                prop_assert!(sq.occupancy() < entries);
+                prop_assert_eq!(
+                    sq.occupancy() as u64,
+                    submitted - consumed
+                );
+            }
+        }
+
+        #[test]
+        fn writer_reader_agree_prop(entries in 2u16..32, n in 0usize..500) {
+            let mut w = CqWriter::new(entries);
+            let mut r = CqRing::new(0, entries);
+            for _ in 0..n {
+                let (slot, phase) = w.next_slot();
+                prop_assert_eq!(slot, r.head());
+                prop_assert_eq!(phase, r.expected_phase());
+                r.consume();
+            }
+        }
+    }
+}

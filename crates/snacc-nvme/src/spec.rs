@@ -1,0 +1,376 @@
+//! NVMe wire-level encodings (NVMe 1.4 subset).
+//!
+//! Submission queue entries are 64 bytes, completion queue entries 16
+//! bytes, both little-endian. The device model parses exactly these bytes
+//! out of queue memory, and the host drivers / NVMe Streamer produce them,
+//! so encode/decode must round-trip — the property tests at the bottom
+//! pin that down.
+
+/// Size of a submission queue entry in bytes.
+pub const SQE_BYTES: u64 = 64;
+/// Size of a completion queue entry in bytes.
+pub const CQE_BYTES: u64 = 16;
+/// NVMe memory page size used throughout (CC.MPS = 0 → 4 KiB).
+pub const NVME_PAGE: u64 = 4096;
+/// Logical block size of our namespace (512 B keeps LBA math familiar).
+pub const LBA_BYTES: u64 = 512;
+
+/// Admin command opcodes (NVMe 1.4, Figure 139).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum AdminOpcode {
+    /// Delete I/O submission queue.
+    DeleteIoSq = 0x00,
+    /// Create I/O submission queue.
+    CreateIoSq = 0x01,
+    /// Delete I/O completion queue.
+    DeleteIoCq = 0x04,
+    /// Create I/O completion queue.
+    CreateIoCq = 0x05,
+    /// Identify.
+    Identify = 0x06,
+    /// Set features.
+    SetFeatures = 0x09,
+    /// Get features.
+    GetFeatures = 0x0A,
+}
+
+/// NVM command set opcodes (NVMe 1.4, Figure 346).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum IoOpcode {
+    /// Flush volatile write cache.
+    Flush = 0x00,
+    /// Write.
+    Write = 0x01,
+    /// Read.
+    Read = 0x02,
+}
+
+impl IoOpcode {
+    /// Decode an opcode byte.
+    pub fn from_u8(b: u8) -> Option<IoOpcode> {
+        match b {
+            0x00 => Some(IoOpcode::Flush),
+            0x01 => Some(IoOpcode::Write),
+            0x02 => Some(IoOpcode::Read),
+            _ => None,
+        }
+    }
+}
+
+/// Completion status codes (generic command status, SCT 0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum Status {
+    /// Successful completion.
+    Success = 0x0,
+    /// Invalid command opcode.
+    InvalidOpcode = 0x1,
+    /// Invalid field in command.
+    InvalidField = 0x2,
+    /// Data transfer error (e.g. a PRP pointing at an unreachable or
+    /// IOMMU-blocked address).
+    DataTransferError = 0x4,
+    /// LBA out of range.
+    LbaOutOfRange = 0x80,
+}
+
+impl Status {
+    /// Decode a status code value.
+    pub fn from_u16(v: u16) -> Status {
+        match v {
+            0x0 => Status::Success,
+            0x1 => Status::InvalidOpcode,
+            0x2 => Status::InvalidField,
+            0x4 => Status::DataTransferError,
+            0x80 => Status::LbaOutOfRange,
+            _ => Status::InvalidField,
+        }
+    }
+}
+
+/// Controller register offsets within BAR0 (NVMe 1.4, Figure 78).
+pub mod regs {
+    /// Controller capabilities (8 B, RO).
+    pub const CAP: u64 = 0x00;
+    /// Version (4 B, RO).
+    pub const VS: u64 = 0x08;
+    /// Controller configuration (4 B, RW).
+    pub const CC: u64 = 0x14;
+    /// Controller status (4 B, RO).
+    pub const CSTS: u64 = 0x1C;
+    /// Admin queue attributes (4 B, RW).
+    pub const AQA: u64 = 0x24;
+    /// Admin submission queue base (8 B, RW).
+    pub const ASQ: u64 = 0x28;
+    /// Admin completion queue base (8 B, RW).
+    pub const ACQ: u64 = 0x30;
+    /// First doorbell register.
+    pub const DOORBELL_BASE: u64 = 0x1000;
+    /// Doorbell stride (CAP.DSTRD = 0 → 4 bytes).
+    pub const DOORBELL_STRIDE: u64 = 4;
+
+    /// Offset of the submission-queue tail doorbell for queue `qid`.
+    pub fn sq_tail_doorbell(qid: u16) -> u64 {
+        DOORBELL_BASE + (2 * qid as u64) * DOORBELL_STRIDE
+    }
+
+    /// Offset of the completion-queue head doorbell for queue `qid`.
+    pub fn cq_head_doorbell(qid: u16) -> u64 {
+        DOORBELL_BASE + (2 * qid as u64 + 1) * DOORBELL_STRIDE
+    }
+}
+
+/// A decoded submission queue entry.
+///
+/// Layout (little-endian, NVMe 1.4 Figure 104-105):
+/// * DW0: opcode (7:0), fused (9:8), PSDT (15:14), CID (31:16)
+/// * DW1: namespace id
+/// * DW6-7: PRP entry 1
+/// * DW8-9: PRP entry 2
+/// * DW10-15: command-specific
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sqe {
+    /// Command opcode byte.
+    pub opcode: u8,
+    /// Command identifier (unique among outstanding commands on a queue).
+    pub cid: u16,
+    /// Namespace identifier.
+    pub nsid: u32,
+    /// PRP entry 1.
+    pub prp1: u64,
+    /// PRP entry 2 (second page or PRP-list pointer).
+    pub prp2: u64,
+    /// Command dwords 10–15.
+    pub cdw: [u32; 6],
+}
+
+impl Sqe {
+    /// A zeroed entry with the given opcode/cid.
+    pub fn new(opcode: u8, cid: u16) -> Self {
+        Sqe {
+            opcode,
+            cid,
+            nsid: 1,
+            prp1: 0,
+            prp2: 0,
+            cdw: [0; 6],
+        }
+    }
+
+    /// Build an NVM read/write command. `slba` is the starting LBA;
+    /// `nlb` is the number of logical blocks **minus one** (spec
+    /// convention, CDW12 bits 15:0).
+    pub fn io(opcode: IoOpcode, cid: u16, slba: u64, nlb0: u16) -> Self {
+        let mut s = Sqe::new(opcode as u8, cid);
+        s.cdw[0] = slba as u32;
+        s.cdw[1] = (slba >> 32) as u32;
+        s.cdw[2] = nlb0 as u32;
+        s
+    }
+
+    /// Starting LBA of an I/O command.
+    pub fn slba(&self) -> u64 {
+        (self.cdw[0] as u64) | ((self.cdw[1] as u64) << 32)
+    }
+
+    /// Transfer length in logical blocks (decoding the minus-one field).
+    pub fn nlb(&self) -> u64 {
+        (self.cdw[2] & 0xFFFF) as u64 + 1
+    }
+
+    /// Transfer length in bytes.
+    pub fn byte_len(&self) -> u64 {
+        self.nlb() * LBA_BYTES
+    }
+
+    /// Encode into the 64-byte wire format.
+    pub fn encode(&self) -> [u8; SQE_BYTES as usize] {
+        let mut b = [0u8; 64];
+        let dw0 = (self.opcode as u32) | ((self.cid as u32) << 16);
+        b[0..4].copy_from_slice(&dw0.to_le_bytes());
+        b[4..8].copy_from_slice(&self.nsid.to_le_bytes());
+        b[24..32].copy_from_slice(&self.prp1.to_le_bytes());
+        b[32..40].copy_from_slice(&self.prp2.to_le_bytes());
+        for (i, dw) in self.cdw.iter().enumerate() {
+            let o = 40 + i * 4;
+            b[o..o + 4].copy_from_slice(&dw.to_le_bytes());
+        }
+        b
+    }
+
+    /// Decode from the 64-byte wire format.
+    pub fn decode(b: &[u8]) -> Sqe {
+        assert!(b.len() >= 64, "short SQE");
+        let dw0 = u32::from_le_bytes(b[0..4].try_into().unwrap());
+        let mut cdw = [0u32; 6];
+        for (i, dw) in cdw.iter_mut().enumerate() {
+            let o = 40 + i * 4;
+            *dw = u32::from_le_bytes(b[o..o + 4].try_into().unwrap());
+        }
+        Sqe {
+            opcode: (dw0 & 0xFF) as u8,
+            cid: (dw0 >> 16) as u16,
+            nsid: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+            prp1: u64::from_le_bytes(b[24..32].try_into().unwrap()),
+            prp2: u64::from_le_bytes(b[32..40].try_into().unwrap()),
+            cdw,
+        }
+    }
+}
+
+/// A decoded completion queue entry.
+///
+/// Layout (NVMe 1.4 Figure 122): DW0 command-specific, DW2 SQ head (15:0) +
+/// SQ id (31:16), DW3 CID (15:0) + phase (16) + status (31:17).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cqe {
+    /// Command-specific result (DW0).
+    pub result: u32,
+    /// Submission-queue head pointer at completion time.
+    pub sq_head: u16,
+    /// Submission queue the command came from.
+    pub sq_id: u16,
+    /// Command identifier.
+    pub cid: u16,
+    /// Phase tag — flips each pass around the CQ ring.
+    pub phase: bool,
+    /// Completion status.
+    pub status: Status,
+}
+
+impl Cqe {
+    /// Encode into the 16-byte wire format.
+    pub fn encode(&self) -> [u8; CQE_BYTES as usize] {
+        let mut b = [0u8; 16];
+        b[0..4].copy_from_slice(&self.result.to_le_bytes());
+        b[8..10].copy_from_slice(&self.sq_head.to_le_bytes());
+        b[10..12].copy_from_slice(&self.sq_id.to_le_bytes());
+        b[12..14].copy_from_slice(&self.cid.to_le_bytes());
+        let sf: u16 = ((self.status as u16) << 1) | (self.phase as u16);
+        b[14..16].copy_from_slice(&sf.to_le_bytes());
+        b
+    }
+
+    /// Decode from the 16-byte wire format.
+    pub fn decode(b: &[u8]) -> Cqe {
+        assert!(b.len() >= 16, "short CQE");
+        let sf = u16::from_le_bytes(b[14..16].try_into().unwrap());
+        Cqe {
+            result: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+            sq_head: u16::from_le_bytes(b[8..10].try_into().unwrap()),
+            sq_id: u16::from_le_bytes(b[10..12].try_into().unwrap()),
+            cid: u16::from_le_bytes(b[12..14].try_into().unwrap()),
+            phase: (sf & 1) != 0,
+            status: Status::from_u16(sf >> 1),
+        }
+    }
+}
+
+/// CC register helpers.
+pub mod cc {
+    /// Enable bit.
+    pub const EN: u32 = 1;
+}
+
+/// CSTS register helpers.
+pub mod csts {
+    /// Ready bit.
+    pub const RDY: u32 = 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sqe_roundtrip_basic() {
+        let mut s = Sqe::io(IoOpcode::Write, 42, 0x1_2345_6789, 255);
+        s.prp1 = 0xdead_beef_000;
+        s.prp2 = 0xcafe_0000;
+        let d = Sqe::decode(&s.encode());
+        assert_eq!(d, s);
+        assert_eq!(d.slba(), 0x1_2345_6789);
+        assert_eq!(d.nlb(), 256);
+        assert_eq!(d.byte_len(), 256 * 512);
+    }
+
+    #[test]
+    fn cqe_roundtrip_basic() {
+        let c = Cqe {
+            result: 7,
+            sq_head: 33,
+            sq_id: 2,
+            cid: 999,
+            phase: true,
+            status: Status::LbaOutOfRange,
+        };
+        assert_eq!(Cqe::decode(&c.encode()), c);
+    }
+
+    #[test]
+    fn doorbell_offsets() {
+        assert_eq!(regs::sq_tail_doorbell(0), 0x1000);
+        assert_eq!(regs::cq_head_doorbell(0), 0x1004);
+        assert_eq!(regs::sq_tail_doorbell(1), 0x1008);
+        assert_eq!(regs::cq_head_doorbell(1), 0x100c);
+    }
+
+    #[test]
+    fn opcode_decoding() {
+        assert_eq!(IoOpcode::from_u8(0x02), Some(IoOpcode::Read));
+        assert_eq!(IoOpcode::from_u8(0x01), Some(IoOpcode::Write));
+        assert_eq!(IoOpcode::from_u8(0x00), Some(IoOpcode::Flush));
+        assert_eq!(IoOpcode::from_u8(0x99), None);
+    }
+
+    #[test]
+    fn status_roundtrip() {
+        for s in [
+            Status::Success,
+            Status::InvalidOpcode,
+            Status::InvalidField,
+            Status::DataTransferError,
+            Status::LbaOutOfRange,
+        ] {
+            assert_eq!(Status::from_u16(s as u16), s);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn sqe_roundtrip_prop(
+            opcode in any::<u8>(),
+            cid in any::<u16>(),
+            nsid in any::<u32>(),
+            prp1 in any::<u64>(),
+            prp2 in any::<u64>(),
+            cdw in any::<[u32; 6]>(),
+        ) {
+            let s = Sqe { opcode, cid, nsid, prp1, prp2, cdw };
+            prop_assert_eq!(Sqe::decode(&s.encode()), s);
+        }
+
+        #[test]
+        fn cqe_roundtrip_prop(
+            result in any::<u32>(),
+            sq_head in any::<u16>(),
+            sq_id in any::<u16>(),
+            cid in any::<u16>(),
+            phase in any::<bool>(),
+        ) {
+            let c = Cqe { result, sq_head, sq_id, cid, phase, status: Status::Success };
+            prop_assert_eq!(Cqe::decode(&c.encode()), c);
+        }
+
+        #[test]
+        fn slba_nlb_encoding_prop(slba in any::<u64>(), nlb0 in any::<u16>()) {
+            let s = Sqe::io(IoOpcode::Read, 1, slba, nlb0);
+            let d = Sqe::decode(&s.encode());
+            prop_assert_eq!(d.slba(), slba & 0xFFFF_FFFF_FFFF_FFFF);
+            prop_assert_eq!(d.nlb(), nlb0 as u64 + 1);
+        }
+    }
+}

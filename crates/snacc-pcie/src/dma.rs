@@ -1,0 +1,190 @@
+//! Credit-windowed DMA pump.
+//!
+//! Models a DMA engine that keeps a bounded number of outstanding
+//! transactions in flight. Throughput of such an engine is
+//! `min(link bandwidth, window × chunk / round-trip-time)` — the
+//! *latency–bandwidth product* limit that explains the paper's PCIe
+//! peer-to-peer write ceiling (Sec 5.2): the NVMe controller simply does
+//! not keep enough read requests outstanding towards the FPGA BAR.
+
+use crate::fabric::{NodeId, PcieError, PcieFabric};
+use snacc_sim::{Engine, SimTime};
+use std::collections::VecDeque;
+
+/// DMA engine parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DmaConfig {
+    /// Bytes per transaction (read-request / write-burst size).
+    pub chunk: u64,
+    /// Maximum transactions in flight.
+    pub outstanding: usize,
+}
+
+impl DmaConfig {
+    /// TaPaSCo's host DMA engine: large bursts, deep pipeline.
+    pub fn tapasco_host() -> Self {
+        DmaConfig {
+            chunk: 4096,
+            outstanding: 32,
+        }
+    }
+}
+
+/// A stateless transfer pump: each call books a whole windowed transfer on
+/// the fabric and returns its completion time.
+#[derive(Clone, Copy, Debug)]
+pub struct DmaEngine {
+    cfg: DmaConfig,
+}
+
+impl DmaEngine {
+    /// Create a pump with the given window parameters.
+    pub fn new(cfg: DmaConfig) -> Self {
+        DmaEngine { cfg }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> DmaConfig {
+        self.cfg
+    }
+
+    /// Windowed read of `out.len()` bytes from fabric address `addr` into
+    /// `out`, issued by `requester`. Returns completion of the last chunk.
+    pub fn read(
+        &self,
+        en: &mut Engine,
+        fab: &mut PcieFabric,
+        requester: NodeId,
+        addr: u64,
+        out: &mut [u8],
+    ) -> Result<SimTime, PcieError> {
+        let mut slots: VecDeque<SimTime> = VecDeque::with_capacity(self.cfg.outstanding);
+        let mut t_issue = en.now();
+        let mut last = en.now();
+        let chunk = self.cfg.chunk as usize;
+        let mut off = 0usize;
+        while off < out.len() {
+            let n = chunk.min(out.len() - off);
+            if slots.len() == self.cfg.outstanding {
+                let freed = slots.pop_front().expect("window non-empty");
+                t_issue = t_issue.max(freed);
+            }
+            let done = fab.read_at(en, t_issue, requester, addr + off as u64, &mut out[off..off + n])?;
+            slots.push_back(done);
+            last = last.max(done);
+            off += n;
+        }
+        Ok(last)
+    }
+
+    /// Windowed (posted) write of `data` to fabric address `addr`.
+    /// Posted writes don't wait for completions, but the engine still
+    /// paces issue on its window to model finite write buffers.
+    pub fn write(
+        &self,
+        en: &mut Engine,
+        fab: &mut PcieFabric,
+        requester: NodeId,
+        addr: u64,
+        data: &[u8],
+    ) -> Result<SimTime, PcieError> {
+        let mut slots: VecDeque<SimTime> = VecDeque::with_capacity(self.cfg.outstanding);
+        let mut t_issue = en.now();
+        let mut last = en.now();
+        let chunk = self.cfg.chunk as usize;
+        let mut off = 0usize;
+        while off < data.len() {
+            let n = chunk.min(data.len() - off);
+            if slots.len() == self.cfg.outstanding {
+                let freed = slots.pop_front().expect("window non-empty");
+                t_issue = t_issue.max(freed);
+            }
+            let done = fab.write_at(en, t_issue, requester, addr + off as u64, &data[off..off + n])?;
+            slots.push_back(done);
+            last = last.max(done);
+            off += n;
+        }
+        Ok(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PcieLinkConfig;
+    use crate::fabric::HOST_NODE;
+    use crate::target::ScratchTarget;
+    use snacc_mem::AddrRange;
+    use snacc_sim::SimDuration;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn setup(latency_ns: u64) -> (Engine, PcieFabric, NodeId) {
+        let mut fab = PcieFabric::new();
+        let dev = fab.add_device("dev", PcieLinkConfig::alveo_u280());
+        let t = Rc::new(RefCell::new(ScratchTarget::new(
+            "mem",
+            SimDuration::from_ns(latency_ns),
+        )));
+        t.borrow_mut().mem_mut().write(0, &vec![0xabu8; 1 << 20]);
+        fab.map_region(dev, AddrRange::new(0, 1 << 20), t);
+        (Engine::new(), fab, dev)
+    }
+
+    #[test]
+    fn reads_move_data() {
+        let (mut en, mut fab, _) = setup(50);
+        let dma = DmaEngine::new(DmaConfig {
+            chunk: 4096,
+            outstanding: 8,
+        });
+        let mut out = vec![0u8; 64 << 10];
+        dma.read(&mut en, &mut fab, HOST_NODE, 0, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0xab));
+    }
+
+    #[test]
+    fn deeper_window_is_faster_when_latency_bound() {
+        // With high service latency, a shallow window throttles throughput.
+        let mk = |outstanding| {
+            let (mut en, mut fab, _) = setup(2_000);
+            let dma = DmaEngine::new(DmaConfig {
+                chunk: 512,
+                outstanding,
+            });
+            let mut out = vec![0u8; 256 << 10];
+            dma.read(&mut en, &mut fab, HOST_NODE, 0, &mut out).unwrap()
+        };
+        let shallow = mk(1);
+        let deep = mk(16);
+        assert!(
+            deep.as_ns() * 4 < shallow.as_ns(),
+            "deep={deep:?} shallow={shallow:?}"
+        );
+    }
+
+    #[test]
+    fn window_one_serialises_rtt() {
+        let (mut en, mut fab, _) = setup(1_000);
+        let dma = DmaEngine::new(DmaConfig {
+            chunk: 512,
+            outstanding: 1,
+        });
+        let mut out = vec![0u8; 512 * 10];
+        let done = dma.read(&mut en, &mut fab, HOST_NODE, 0, &mut out).unwrap();
+        // Each RTT ≥ service latency (1 µs) + 2 × hop (400 ns) → ≥ 14 µs
+        // for 10 serial chunks.
+        assert!(done.as_ns() >= 14_000, "{done:?}");
+    }
+
+    #[test]
+    fn writes_complete_and_store() {
+        let (mut en, mut fab, _) = setup(50);
+        let dma = DmaEngine::new(DmaConfig::tapasco_host());
+        let data = vec![0x5au8; 32 << 10];
+        dma.write(&mut en, &mut fab, HOST_NODE, 4096, &data).unwrap();
+        let mut back = vec![0u8; 32 << 10];
+        dma.read(&mut en, &mut fab, HOST_NODE, 4096, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+}

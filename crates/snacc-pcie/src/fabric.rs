@@ -1,0 +1,534 @@
+//! The PCIe fabric: topology, routing, and transaction timing.
+//!
+//! Topology is a star: every device has one full-duplex link to the root
+//! complex (which also fronts host memory). Transactions:
+//!
+//! * host → device (MMIO, doorbells): down-link of the target,
+//! * device → host (DMA): up-link of the requester,
+//! * device → device (peer-to-peer): up-link of the requester, a root
+//!   complex forwarding hop, and the down-link of the target —
+//!
+//! with TLP header overhead charged per packet and the IOMMU checked for
+//! every device-initiated access. All byte movement is functional: the
+//! registered [`MmioTarget`] really receives/produces the bytes.
+
+use crate::config::PcieLinkConfig;
+use crate::iommu::Iommu;
+use crate::target::MmioTarget;
+use crate::tlp::{wire_bytes, READ_REQUEST_BYTES};
+
+/// Payloads at or below this size ride as interleaved control TLPs
+/// (doorbells, CQEs, SQE fetches) — they pay wire time and latency but do
+/// not queue behind bulk data windows.
+pub const CTRL_TLP_BYTES: u64 = 512;
+use snacc_mem::{AddrRange, AddressMap};
+use snacc_sim::stats::ByteMeter;
+use snacc_sim::{Engine, SharedLink, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A node on the fabric. `HOST_NODE` is the root complex / host CPU side;
+/// devices are numbered from 1 in registration order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// The host / root-complex node.
+pub const HOST_NODE: NodeId = NodeId(0);
+
+/// Errors a fabric transaction can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcieError {
+    /// The IOMMU denied a device-initiated access.
+    IommuFault {
+        /// Requesting node.
+        requester: NodeId,
+        /// Faulting address.
+        addr: u64,
+    },
+    /// No mapped range covers the requested span.
+    Unmapped {
+        /// Requested address.
+        addr: u64,
+        /// Requested length.
+        len: u64,
+    },
+    /// Requester and target are the same node — local accesses must not be
+    /// routed over the fabric (this is a model-wiring bug).
+    LocalAccess,
+}
+
+impl fmt::Display for PcieError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcieError::IommuFault { requester, addr } => {
+                write!(f, "IOMMU fault: node {requester:?} at {addr:#x}")
+            }
+            PcieError::Unmapped { addr, len } => {
+                write!(f, "unmapped PCIe access at {addr:#x} (+{len})")
+            }
+            PcieError::LocalAccess => write!(f, "local access routed over fabric"),
+        }
+    }
+}
+
+impl std::error::Error for PcieError {}
+
+struct DeviceLink {
+    name: String,
+    cfg: PcieLinkConfig,
+    /// Device → root complex.
+    up: SharedLink,
+    /// Root complex → device.
+    down: SharedLink,
+}
+
+struct MapEntry {
+    node: NodeId,
+    target: Rc<RefCell<dyn MmioTarget>>,
+}
+
+/// The star-topology PCIe fabric.
+pub struct PcieFabric {
+    devices: Vec<DeviceLink>,
+    map: AddressMap<MapEntry>,
+    iommu: Iommu,
+    /// Root-complex forwarding latency for peer-to-peer hops.
+    rc_forward: SimDuration,
+    /// Payload bytes per *transaction* (counted once, not per link) — the
+    /// paper's Fig 7 "data transfers over the PCIe bus" metric.
+    payload: ByteMeter,
+}
+
+impl Default for PcieFabric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PcieFabric {
+    /// An empty fabric with a passthrough IOMMU. Call
+    /// [`set_iommu`](Self::set_iommu) to install an enforcing one.
+    pub fn new() -> Self {
+        PcieFabric {
+            devices: Vec::new(),
+            map: AddressMap::new(),
+            iommu: Iommu::passthrough(),
+            rc_forward: SimDuration::from_ns(100),
+            payload: ByteMeter::new(),
+        }
+    }
+
+    /// Install an IOMMU (replaces the current one).
+    pub fn set_iommu(&mut self, iommu: Iommu) {
+        self.iommu = iommu;
+    }
+
+    /// Mutable access to the IOMMU (for grants).
+    pub fn iommu_mut(&mut self) -> &mut Iommu {
+        &mut self.iommu
+    }
+
+    /// Attach a device with the given link; returns its node id.
+    pub fn add_device(&mut self, name: impl Into<String>, cfg: PcieLinkConfig) -> NodeId {
+        let name = name.into();
+        let hop = SimDuration::from_ns(200);
+        let up = SharedLink::new(format!("{name}.up"), cfg.bandwidth(), hop);
+        let down = SharedLink::new(format!("{name}.down"), cfg.bandwidth(), hop);
+        self.devices.push(DeviceLink {
+            name,
+            cfg,
+            up,
+            down,
+        });
+        NodeId(self.devices.len())
+    }
+
+    /// Name of a device node.
+    pub fn device_name(&self, node: NodeId) -> &str {
+        &self.devices[node.0 - 1].name
+    }
+
+    /// Map an address range owned by `node` to a target.
+    pub fn map_region(
+        &mut self,
+        node: NodeId,
+        range: AddrRange,
+        target: Rc<RefCell<dyn MmioTarget>>,
+    ) {
+        self.map.insert(range, MapEntry { node, target });
+    }
+
+    /// Which node owns the mapping that covers `addr`, if any.
+    pub fn owner_of(&self, addr: u64) -> Option<NodeId> {
+        self.map.decode(addr).map(|(_, e)| e.node)
+    }
+
+    /// Bytes moved over a device's link (both directions).
+    pub fn link_bytes(&self, node: NodeId) -> u64 {
+        let d = &self.devices[node.0 - 1];
+        d.up.bytes_transferred() + d.down.bytes_transferred()
+    }
+
+    /// Total bytes moved over all PCIe links (wire-level accounting; each
+    /// peer-to-peer byte appears on two links).
+    pub fn total_bytes(&self) -> u64 {
+        self.devices
+            .iter()
+            .map(|d| d.up.bytes_transferred() + d.down.bytes_transferred())
+            .sum()
+    }
+
+    /// Payload bytes transferred over the bus, counted once per
+    /// transaction — the paper's Fig 7 metric ("data transfers over the
+    /// PCIe bus"): a P2P move is one transfer, staging through host
+    /// memory is two.
+    pub fn total_payload_bytes(&self) -> u64 {
+        self.payload.bytes()
+    }
+
+    /// Reset all byte meters (e.g. after warm-up).
+    pub fn reset_meters(&mut self) {
+        for d in &mut self.devices {
+            d.up.reset_meter();
+            d.down.reset_meter();
+        }
+        self.payload = ByteMeter::new();
+    }
+
+    fn mps_for(&self, a: NodeId, b: NodeId) -> u64 {
+        let mut mps = u64::MAX;
+        for n in [a, b] {
+            if n != HOST_NODE {
+                mps = mps.min(self.devices[n.0 - 1].cfg.max_payload);
+            }
+        }
+        if mps == u64::MAX {
+            512
+        } else {
+            mps
+        }
+    }
+
+    fn decode(&self, addr: u64, len: u64) -> Result<(u64, NodeId, Rc<RefCell<dyn MmioTarget>>), PcieError> {
+        let (range, entry) = self
+            .map
+            .decode_span(addr, len)
+            .ok_or(PcieError::Unmapped { addr, len })?;
+        Ok((range.offset_of(addr), entry.node, entry.target.clone()))
+    }
+
+    fn check_iommu(&mut self, requester: NodeId, addr: u64, len: u64) -> Result<(), PcieError> {
+        if requester != HOST_NODE && !self.iommu.check(requester, addr, len) {
+            return Err(PcieError::IommuFault { requester, addr });
+        }
+        Ok(())
+    }
+
+    /// A non-posted read: `requester` reads `out.len()` bytes at fabric
+    /// address `addr`. Returns the time the last completion byte reaches
+    /// the requester.
+    pub fn read(
+        &mut self,
+        en: &mut Engine,
+        requester: NodeId,
+        addr: u64,
+        out: &mut [u8],
+    ) -> Result<SimTime, PcieError> {
+        let now = en.now();
+        self.read_at(en, now, requester, addr, out)
+    }
+
+    /// Like [`read`](Self::read) but the request is issued at `start`
+    /// (≥ now) — used by windowed DMA pumps that book transactions ahead
+    /// of the event clock.
+    pub fn read_at(
+        &mut self,
+        en: &mut Engine,
+        start: SimTime,
+        requester: NodeId,
+        addr: u64,
+        out: &mut [u8],
+    ) -> Result<SimTime, PcieError> {
+        debug_assert!(start >= en.now());
+        let len = out.len() as u64;
+        self.check_iommu(requester, addr, len)?;
+        let (offset, target_node, target) = self.decode(addr, len)?;
+        if requester == target_node {
+            return Err(PcieError::LocalAccess);
+        }
+        let p2p = requester != HOST_NODE && target_node != HOST_NODE;
+        let mps = self.mps_for(requester, target_node);
+        self.payload.record(len);
+
+        // Request phase: header-only TLP towards the target (control
+        // traffic: interleaves, never queues behind bulk data).
+        let mut t = start;
+        if requester != HOST_NODE {
+            t = self.devices[requester.0 - 1]
+                .up
+                .transfer_interleaved(t, READ_REQUEST_BYTES);
+        }
+        if p2p {
+            t += self.rc_forward;
+        }
+        if target_node != HOST_NODE {
+            t = self.devices[target_node.0 - 1]
+                .down
+                .transfer_interleaved(t, READ_REQUEST_BYTES);
+        }
+
+        // Service at the target.
+        let service = target.borrow_mut().read(en, t, offset, out);
+        t += service;
+
+        // Completion phase: data flows back to the requester. Small
+        // completions interleave; bulk data queues on the links.
+        let wire = wire_bytes(len, mps);
+        let small = len <= CTRL_TLP_BYTES;
+        if target_node != HOST_NODE {
+            let l = &mut self.devices[target_node.0 - 1].up;
+            t = if small {
+                l.transfer_interleaved(t, wire)
+            } else {
+                l.transfer(t, wire)
+            };
+        }
+        if p2p {
+            t += self.rc_forward;
+        }
+        if requester != HOST_NODE {
+            let l = &mut self.devices[requester.0 - 1].down;
+            t = if small {
+                l.transfer_interleaved(t, wire)
+            } else {
+                l.transfer(t, wire)
+            };
+        }
+        Ok(t)
+    }
+
+    /// A posted write: `requester` writes `data` at fabric address `addr`.
+    /// Returns the time the target has absorbed the data.
+    pub fn write(
+        &mut self,
+        en: &mut Engine,
+        requester: NodeId,
+        addr: u64,
+        data: &[u8],
+    ) -> Result<SimTime, PcieError> {
+        let now = en.now();
+        self.write_at(en, now, requester, addr, data)
+    }
+
+    /// Like [`write`](Self::write) but issued at `start` (≥ now).
+    pub fn write_at(
+        &mut self,
+        en: &mut Engine,
+        start: SimTime,
+        requester: NodeId,
+        addr: u64,
+        data: &[u8],
+    ) -> Result<SimTime, PcieError> {
+        debug_assert!(start >= en.now());
+        let len = data.len() as u64;
+        self.check_iommu(requester, addr, len)?;
+        let (offset, target_node, target) = self.decode(addr, len)?;
+        if requester == target_node {
+            return Err(PcieError::LocalAccess);
+        }
+        let p2p = requester != HOST_NODE && target_node != HOST_NODE;
+        let mps = self.mps_for(requester, target_node);
+        let wire = wire_bytes(len, mps);
+        let small = len <= CTRL_TLP_BYTES;
+        self.payload.record(len);
+
+        let mut t = start;
+        if requester != HOST_NODE {
+            let l = &mut self.devices[requester.0 - 1].up;
+            t = if small {
+                l.transfer_interleaved(t, wire)
+            } else {
+                l.transfer(t, wire)
+            };
+        }
+        if p2p {
+            t += self.rc_forward;
+        }
+        if target_node != HOST_NODE {
+            let l = &mut self.devices[target_node.0 - 1].down;
+            t = if small {
+                l.transfer_interleaved(t, wire)
+            } else {
+                l.transfer(t, wire)
+            };
+        }
+        let service = target.borrow_mut().write(en, t, offset, data);
+        Ok(t + service)
+    }
+
+    /// Convenience: 32-bit register read (host driver MMIO).
+    pub fn read_u32(&mut self, en: &mut Engine, requester: NodeId, addr: u64) -> Result<u32, PcieError> {
+        let mut b = [0u8; 4];
+        self.read(en, requester, addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Convenience: 32-bit register write (host driver MMIO / doorbells).
+    pub fn write_u32(
+        &mut self,
+        en: &mut Engine,
+        requester: NodeId,
+        addr: u64,
+        value: u32,
+    ) -> Result<SimTime, PcieError> {
+        self.write(en, requester, addr, &value.to_le_bytes())
+    }
+
+    /// Convenience: 64-bit read.
+    pub fn read_u64(&mut self, en: &mut Engine, requester: NodeId, addr: u64) -> Result<u64, PcieError> {
+        let mut b = [0u8; 8];
+        self.read(en, requester, addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PcieGen, PcieLinkConfig};
+    use crate::target::ScratchTarget;
+
+    fn scratch(name: &str) -> Rc<RefCell<ScratchTarget>> {
+        Rc::new(RefCell::new(ScratchTarget::new(
+            name,
+            SimDuration::from_ns(50),
+        )))
+    }
+
+    fn setup() -> (Engine, PcieFabric, NodeId, NodeId) {
+        let mut fab = PcieFabric::new();
+        let fpga = fab.add_device("fpga", PcieLinkConfig::alveo_u280());
+        let ssd = fab.add_device("ssd", PcieLinkConfig::nvme_gen4_x4());
+        (Engine::new(), fab, fpga, ssd)
+    }
+
+    #[test]
+    fn host_to_device_write_read() {
+        let (mut en, mut fab, fpga, _) = setup();
+        let t = scratch("bar0");
+        fab.map_region(fpga, AddrRange::new(0x10_0000, 0x1000), t.clone());
+        fab.write(&mut en, HOST_NODE, 0x10_0010, b"ping").unwrap();
+        let mut out = [0u8; 4];
+        fab.read(&mut en, HOST_NODE, 0x10_0010, &mut out).unwrap();
+        assert_eq!(&out, b"ping");
+    }
+
+    #[test]
+    fn p2p_routes_through_both_links() {
+        let (mut en, mut fab, fpga, ssd) = setup();
+        let t = scratch("fpga-mem");
+        fab.map_region(fpga, AddrRange::new(0x20_0000, 0x1000), t);
+        // SSD reads 512 B from FPGA BAR.
+        let mut out = [0u8; 512];
+        let done = fab.read(&mut en, ssd, 0x20_0000, &mut out).unwrap();
+        assert!(done > SimTime::ZERO);
+        // Both device links saw traffic.
+        assert!(fab.link_bytes(ssd) > 0);
+        assert!(fab.link_bytes(fpga) > 0);
+        // FPGA link carried the completion data upstream.
+        assert!(fab.link_bytes(fpga) >= 512);
+    }
+
+    #[test]
+    fn unmapped_access_fails() {
+        let (mut en, mut fab, _, _) = setup();
+        let mut out = [0u8; 4];
+        let e = fab.read(&mut en, HOST_NODE, 0xdead_0000, &mut out);
+        assert!(matches!(e, Err(PcieError::Unmapped { .. })));
+    }
+
+    #[test]
+    fn iommu_blocks_ungranted_p2p() {
+        let (mut en, mut fab, fpga, ssd) = setup();
+        fab.set_iommu(Iommu::new());
+        let t = scratch("fpga-mem");
+        fab.map_region(fpga, AddrRange::new(0x20_0000, 0x1000), t);
+        let mut out = [0u8; 8];
+        let e = fab.read(&mut en, ssd, 0x20_0000, &mut out);
+        assert!(matches!(e, Err(PcieError::IommuFault { .. })));
+        // After a grant it works.
+        fab.iommu_mut().grant(ssd, AddrRange::new(0x20_0000, 0x1000));
+        fab.read(&mut en, ssd, 0x20_0000, &mut out).unwrap();
+        // Host accesses bypass the IOMMU.
+        fab.write(&mut en, HOST_NODE, 0x20_0000, b"x").unwrap();
+    }
+
+    #[test]
+    fn local_access_rejected() {
+        let (mut en, mut fab, fpga, _) = setup();
+        let t = scratch("fpga-mem");
+        fab.map_region(fpga, AddrRange::new(0x0, 0x1000), t);
+        let mut out = [0u8; 4];
+        let e = fab.read(&mut en, fpga, 0x0, &mut out);
+        assert_eq!(e, Err(PcieError::LocalAccess));
+    }
+
+    #[test]
+    fn bandwidth_serialises_on_narrow_link() {
+        // Two 64 KiB host→SSD writes serialise on the SSD's Gen4 x4 link.
+        let (mut en, mut fab, _, ssd) = setup();
+        let t = scratch("ssd-buf");
+        fab.map_region(ssd, AddrRange::new(0x80_0000, 0x2_0000), t);
+        let buf = vec![0u8; 65536];
+        let t1 = fab.write(&mut en, HOST_NODE, 0x80_0000, &buf).unwrap();
+        let t2 = fab.write(&mut en, HOST_NODE, 0x80_0000, &buf).unwrap();
+        let d1 = t1.since(SimTime::ZERO).as_ns();
+        let d2 = t2.since(SimTime::ZERO).as_ns();
+        // Second transfer takes roughly twice as long end-to-end.
+        assert!(d2 as f64 > 1.8 * d1 as f64, "d1={d1} d2={d2}");
+    }
+
+    #[test]
+    fn wire_overhead_counted_in_link_bytes() {
+        let (mut en, mut fab, fpga, _) = setup();
+        let t = scratch("bar");
+        fab.map_region(fpga, AddrRange::new(0x0, 0x10000), t);
+        let buf = vec![0u8; 4096];
+        fab.write(&mut en, HOST_NODE, 0x0, &buf).unwrap();
+        // 4096 B at MPS 512 → 8 packets → 8 × 24 B headers.
+        assert_eq!(fab.link_bytes(fpga), 4096 + 8 * 24);
+    }
+
+    #[test]
+    fn u32_register_helpers() {
+        let (mut en, mut fab, fpga, _) = setup();
+        let t = scratch("regs");
+        fab.map_region(fpga, AddrRange::new(0x1000, 0x100), t);
+        fab.write_u32(&mut en, HOST_NODE, 0x1004, 0xabcd_1234).unwrap();
+        assert_eq!(fab.read_u32(&mut en, HOST_NODE, 0x1004).unwrap(), 0xabcd_1234);
+    }
+
+    #[test]
+    fn gen5_link_is_faster() {
+        let mut fab = PcieFabric::new();
+        let g4 = fab.add_device("g4", PcieLinkConfig::nvme_gen4_x4());
+        let g5 = fab.add_device("g5", PcieLinkConfig::nvme_gen5_x4());
+        let mut en = Engine::new();
+        let t4 = scratch("t4");
+        let t5 = scratch("t5");
+        fab.map_region(g4, AddrRange::new(0x0, 0x100000), t4);
+        fab.map_region(g5, AddrRange::new(0x100000, 0x100000), t5);
+        let buf = vec![0u8; 1 << 20];
+        let a = fab.write(&mut en, HOST_NODE, 0x0, &buf).unwrap();
+        // Reset time by new engine for clean comparison.
+        let mut en2 = Engine::new();
+        let mut fab2 = PcieFabric::new();
+        let g5b = fab2.add_device("g5", PcieLinkConfig::nvme_gen5_x4());
+        let t5b = scratch("t5b");
+        fab2.map_region(g5b, AddrRange::new(0x0, 0x100000), t5b);
+        let b = fab2.write(&mut en2, HOST_NODE, 0x0, &buf).unwrap();
+        assert!(b < a, "gen5 {b} should beat gen4 {a}");
+        let _ = (g5, PcieGen::Gen5);
+    }
+}

@@ -1,0 +1,339 @@
+//! Memory-mapped targets.
+//!
+//! Anything reachable over the fabric — host DRAM, an FPGA BAR window
+//! backed by URAM or on-board DRAM, an NVMe controller's register file —
+//! implements [`MmioTarget`]. Targets are *passive*: they move bytes and
+//! return a service latency. Side effects that must re-enter the fabric
+//! (e.g. a doorbell write triggering command fetch) are deferred via the
+//! engine handle.
+
+use snacc_mem::{DramController, HostMemory, SparseMemory, UramModel};
+use snacc_sim::{Engine, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A memory-mapped region reachable through the PCIe fabric.
+pub trait MmioTarget {
+    /// Target name for traces and error messages.
+    fn name(&self) -> &str;
+
+    /// Serve a read of `out.len()` bytes at `offset` within the region.
+    /// `arrival` is when the request reaches the target; the return value
+    /// is the service latency before the completion data starts back.
+    fn read(&mut self, en: &mut Engine, arrival: SimTime, offset: u64, out: &mut [u8])
+        -> SimDuration;
+
+    /// Absorb a write of `data` at `offset`. Returns the service latency.
+    fn write(&mut self, en: &mut Engine, arrival: SimTime, offset: u64, data: &[u8])
+        -> SimDuration;
+}
+
+/// Host DRAM exposed as a fabric target.
+pub struct HostMemTarget {
+    mem: Rc<RefCell<HostMemory>>,
+    /// Physical base address of the mapped window (offsets are absolute
+    /// host-physical addresses minus this base).
+    base: u64,
+}
+
+impl HostMemTarget {
+    /// Map host memory at physical base `base`.
+    pub fn new(mem: Rc<RefCell<HostMemory>>, base: u64) -> Self {
+        HostMemTarget { mem, base }
+    }
+}
+
+impl MmioTarget for HostMemTarget {
+    fn name(&self) -> &str {
+        "host-dram"
+    }
+
+    fn read(
+        &mut self,
+        _en: &mut Engine,
+        arrival: SimTime,
+        offset: u64,
+        out: &mut [u8],
+    ) -> SimDuration {
+        let mut m = self.mem.borrow_mut();
+        let done = m.read(arrival, self.base + offset, out);
+        done.since(arrival)
+    }
+
+    fn write(
+        &mut self,
+        _en: &mut Engine,
+        arrival: SimTime,
+        offset: u64,
+        data: &[u8],
+    ) -> SimDuration {
+        let mut m = self.mem.borrow_mut();
+        let done = m.write(arrival, self.base + offset, data);
+        done.since(arrival)
+    }
+}
+
+/// A URAM buffer exposed through an FPGA BAR window.
+pub struct UramTarget {
+    uram: Rc<RefCell<UramModel>>,
+}
+
+impl UramTarget {
+    /// Wrap a shared URAM model.
+    pub fn new(uram: Rc<RefCell<UramModel>>) -> Self {
+        UramTarget { uram }
+    }
+}
+
+impl MmioTarget for UramTarget {
+    fn name(&self) -> &str {
+        "uram-bar"
+    }
+
+    fn read(
+        &mut self,
+        _en: &mut Engine,
+        arrival: SimTime,
+        offset: u64,
+        out: &mut [u8],
+    ) -> SimDuration {
+        let mut u = self.uram.borrow_mut();
+        let done = u.read(arrival, offset, out);
+        done.since(arrival)
+    }
+
+    fn write(
+        &mut self,
+        _en: &mut Engine,
+        arrival: SimTime,
+        offset: u64,
+        data: &[u8],
+    ) -> SimDuration {
+        let mut u = self.uram.borrow_mut();
+        let done = u.write(arrival, offset, data);
+        done.since(arrival)
+    }
+}
+
+/// An on-board DRAM window exposed through an FPGA BAR.
+pub struct DramTarget {
+    dram: Rc<RefCell<DramController>>,
+    /// Offset of this window within the DRAM address space.
+    window_base: u64,
+}
+
+impl DramTarget {
+    /// Map `dram` starting at `window_base` within the channel.
+    pub fn new(dram: Rc<RefCell<DramController>>, window_base: u64) -> Self {
+        DramTarget { dram, window_base }
+    }
+}
+
+impl MmioTarget for DramTarget {
+    fn name(&self) -> &str {
+        "onboard-dram-bar"
+    }
+
+    fn read(
+        &mut self,
+        _en: &mut Engine,
+        arrival: SimTime,
+        offset: u64,
+        out: &mut [u8],
+    ) -> SimDuration {
+        let mut d = self.dram.borrow_mut();
+        let done = d.read(arrival, self.window_base + offset, out);
+        done.since(arrival)
+    }
+
+    fn write(
+        &mut self,
+        _en: &mut Engine,
+        arrival: SimTime,
+        offset: u64,
+        data: &[u8],
+    ) -> SimDuration {
+        let mut d = self.dram.borrow_mut();
+        let done = d.write(arrival, self.window_base + offset, data);
+        done.since(arrival)
+    }
+}
+
+/// A plain register-file / scratch target with fixed service latency.
+/// Useful for config windows and in tests.
+pub struct ScratchTarget {
+    name: String,
+    mem: SparseMemory,
+    latency: SimDuration,
+}
+
+impl ScratchTarget {
+    /// Create with a fixed access latency.
+    pub fn new(name: impl Into<String>, latency: SimDuration) -> Self {
+        ScratchTarget {
+            name: name.into(),
+            mem: SparseMemory::new(),
+            latency,
+        }
+    }
+
+    /// Functional access to the backing store.
+    pub fn mem_mut(&mut self) -> &mut SparseMemory {
+        &mut self.mem
+    }
+}
+
+impl MmioTarget for ScratchTarget {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn read(
+        &mut self,
+        _en: &mut Engine,
+        _arrival: SimTime,
+        offset: u64,
+        out: &mut [u8],
+    ) -> SimDuration {
+        self.mem.read(offset, out);
+        self.latency
+    }
+
+    fn write(
+        &mut self,
+        _en: &mut Engine,
+        _arrival: SimTime,
+        offset: u64,
+        data: &[u8],
+    ) -> SimDuration {
+        self.mem.write(offset, data);
+        self.latency
+    }
+}
+
+/// Callback invoked by a [`NotifyTarget`] after a write lands:
+/// `(engine, region offset, written bytes, arrival time)`. The hook runs
+/// while the target (and typically the fabric) is borrowed — it must not
+/// re-enter either; schedule an event for anything that does.
+pub type WriteHook = Box<dyn FnMut(&mut Engine, u64, &[u8], SimTime)>;
+
+/// A memory region that notifies a hook after each write — the simulation
+/// stand-in for "a poller notices new bytes". NVMe completion queues use
+/// this so consumers (the streamer's reorder buffer, the SPDK reactor)
+/// wake without the simulator running dense polling events; consumers add
+/// their own reaction latency to model real polling granularity.
+pub struct NotifyTarget {
+    name: String,
+    mem: SparseMemory,
+    latency: SimDuration,
+    hook: Option<WriteHook>,
+}
+
+impl NotifyTarget {
+    /// Create with a fixed access latency and no hook.
+    pub fn new(name: impl Into<String>, latency: SimDuration) -> Self {
+        NotifyTarget {
+            name: name.into(),
+            mem: SparseMemory::new(),
+            latency,
+            hook: None,
+        }
+    }
+
+    /// Install (or replace) the write hook.
+    pub fn set_hook(&mut self, hook: WriteHook) {
+        self.hook = Some(hook);
+    }
+
+    /// Functional access to the backing store.
+    pub fn mem_mut(&mut self) -> &mut SparseMemory {
+        &mut self.mem
+    }
+}
+
+impl MmioTarget for NotifyTarget {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn read(
+        &mut self,
+        _en: &mut Engine,
+        _arrival: SimTime,
+        offset: u64,
+        out: &mut [u8],
+    ) -> SimDuration {
+        self.mem.read(offset, out);
+        self.latency
+    }
+
+    fn write(
+        &mut self,
+        en: &mut Engine,
+        arrival: SimTime,
+        offset: u64,
+        data: &[u8],
+    ) -> SimDuration {
+        self.mem.write(offset, data);
+        if let Some(hook) = &mut self.hook {
+            hook(en, offset, data, arrival + self.latency);
+        }
+        self.latency
+    }
+}
+
+/// Timing model of the URAM read path under dir contention is handled by
+/// the URAM model itself; see `snacc-mem`.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snacc_mem::{DramConfig, UramConfig};
+
+    #[test]
+    fn scratch_roundtrip() {
+        let mut en = Engine::new();
+        let mut t = ScratchTarget::new("regs", SimDuration::from_ns(50));
+        let lat = t.write(&mut en, SimTime::ZERO, 0x10, b"abcd");
+        assert_eq!(lat, SimDuration::from_ns(50));
+        let mut out = [0u8; 4];
+        t.read(&mut en, SimTime::ZERO, 0x10, &mut out);
+        assert_eq!(&out, b"abcd");
+    }
+
+    #[test]
+    fn uram_target_moves_bytes() {
+        let mut en = Engine::new();
+        let uram = Rc::new(RefCell::new(UramModel::new(
+            "u",
+            UramConfig::snacc_default(),
+        )));
+        let mut t = UramTarget::new(uram.clone());
+        t.write(&mut en, SimTime::ZERO, 4096, b"hello");
+        let mut out = [0u8; 5];
+        t.read(&mut en, SimTime::ZERO, 4096, &mut out);
+        assert_eq!(&out, b"hello");
+        assert_eq!(uram.borrow().bytes_written(), 5);
+    }
+
+    #[test]
+    fn dram_target_applies_window_base() {
+        let mut en = Engine::new();
+        let dram = Rc::new(RefCell::new(DramController::new(
+            "d",
+            DramConfig::ddr4_u280(),
+        )));
+        let mut t = DramTarget::new(dram.clone(), 0x100_0000);
+        t.write(&mut en, SimTime::ZERO, 0, b"xy");
+        let got = dram.borrow_mut().store_mut().read_vec(0x100_0000, 2);
+        assert_eq!(got, b"xy");
+    }
+
+    #[test]
+    fn hostmem_target_absolute_addresses() {
+        let mut en = Engine::new();
+        let mem = Rc::new(RefCell::new(HostMemory::default()));
+        let mut t = HostMemTarget::new(mem.clone(), 0);
+        t.write(&mut en, SimTime::ZERO, 0x5000, b"zz");
+        assert_eq!(mem.borrow_mut().store_mut().read_vec(0x5000, 2), b"zz");
+    }
+}

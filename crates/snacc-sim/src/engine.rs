@@ -1,0 +1,294 @@
+//! The discrete-event engine.
+//!
+//! Events are boxed `FnOnce(&mut Engine)` closures ordered by
+//! `(time, insertion sequence)` — ties execute in FIFO order, which makes
+//! every simulation run bit-for-bit deterministic. Hardware models are
+//! `Rc<RefCell<...>>` structures captured by the closures they schedule.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: a closure to run at a point in simulated time.
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    f: Box<dyn FnOnce(&mut Engine)>,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The discrete-event simulation engine: an event queue plus the clock.
+///
+/// The engine owns no model state itself; models schedule closures that
+/// borrow the engine mutably (for the clock and further scheduling) and
+/// their own `Rc<RefCell<..>>` state.
+pub struct Engine {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    executed: u64,
+    /// Safety valve: panic if a run executes more events than this.
+    /// Guards against accidental infinite self-rescheduling in models.
+    event_limit: u64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Create an engine at t = 0 with the default event limit (10^10).
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+            event_limit: 10_000_000_000,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Replace the runaway-simulation event limit.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Schedule `f` to run at absolute time `t` (must not be in the past).
+    pub fn schedule_at(&mut self, t: SimTime, f: impl FnOnce(&mut Engine) + 'static) {
+        assert!(
+            t >= self.now,
+            "scheduling into the past: now={}, t={}",
+            self.now,
+            t
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            time: t,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedule `f` to run `d` after the current time.
+    #[inline]
+    pub fn schedule_in(&mut self, d: SimDuration, f: impl FnOnce(&mut Engine) + 'static) {
+        self.schedule_at(self.now + d, f);
+    }
+
+    /// Schedule `f` to run at the current time, after all events already
+    /// queued for this instant (FIFO tie-break).
+    #[inline]
+    pub fn schedule_now(&mut self, f: impl FnOnce(&mut Engine) + 'static) {
+        self.schedule_at(self.now, f);
+    }
+
+    /// Execute the next event, advancing the clock. Returns `false` when
+    /// the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now);
+        self.now = ev.time;
+        self.executed += 1;
+        if self.executed > self.event_limit {
+            panic!(
+                "simulation exceeded event limit ({}) at {} — runaway model?",
+                self.event_limit, self.now
+            );
+        }
+        (ev.f)(self);
+        true
+    }
+
+    /// Run until the event queue drains; returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run until the queue drains or the clock passes `deadline`.
+    /// Events scheduled exactly at `deadline` still execute. Returns `true`
+    /// if the queue drained (i.e. the simulation finished on its own).
+    pub fn run_until(&mut self, deadline: SimTime) -> bool {
+        loop {
+            match self.queue.peek() {
+                None => return true,
+                Some(ev) if ev.time > deadline => {
+                    self.now = deadline;
+                    return false;
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Run while `cond()` holds and events remain. Returns `true` if the
+    /// queue drained before the condition turned false.
+    pub fn run_while(&mut self, mut cond: impl FnMut() -> bool) -> bool {
+        while cond() {
+            if !self.step() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn executes_in_time_order() {
+        let mut en = Engine::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for &ns in &[30u64, 10, 20] {
+            let o = order.clone();
+            en.schedule_at(SimTime::from_ns(ns), move |en| {
+                o.borrow_mut().push(en.now().as_ns());
+            });
+        }
+        en.run();
+        assert_eq!(*order.borrow(), vec![10, 20, 30]);
+        assert_eq!(en.events_executed(), 3);
+    }
+
+    #[test]
+    fn fifo_tie_break_at_same_time() {
+        let mut en = Engine::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5u32 {
+            let o = order.clone();
+            en.schedule_at(SimTime::from_ns(7), move |_| o.borrow_mut().push(i));
+        }
+        en.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn schedule_now_runs_after_queued_same_instant() {
+        let mut en = Engine::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let o1 = order.clone();
+        let o2 = order.clone();
+        en.schedule_at(SimTime::ZERO, move |en| {
+            let o = o1.clone();
+            en.schedule_now(move |_| o.borrow_mut().push("late"));
+            o1.borrow_mut().push("first");
+        });
+        en.schedule_at(SimTime::ZERO, move |_| o2.borrow_mut().push("second"));
+        en.run();
+        assert_eq!(*order.borrow(), vec!["first", "second", "late"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_scheduling() {
+        let mut en = Engine::new();
+        en.schedule_at(SimTime::from_ns(10), |en| {
+            en.schedule_at(SimTime::from_ns(5), |_| {});
+        });
+        en.run();
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut en = Engine::new();
+        let count = Rc::new(RefCell::new(0));
+        fn tick(en: &mut Engine, count: Rc<RefCell<u32>>) {
+            *count.borrow_mut() += 1;
+            en.schedule_in(SimDuration::from_ns(10), move |en| tick(en, count));
+        }
+        let c = count.clone();
+        en.schedule_at(SimTime::ZERO, move |en| tick(en, c));
+        let drained = en.run_until(SimTime::from_ns(55));
+        assert!(!drained);
+        // Ticks at 0,10,20,30,40,50 → 6 executions.
+        assert_eq!(*count.borrow(), 6);
+        assert_eq!(en.now(), SimTime::from_ns(55));
+    }
+
+    #[test]
+    fn run_until_deadline_inclusive() {
+        let mut en = Engine::new();
+        let hit = Rc::new(RefCell::new(false));
+        let h = hit.clone();
+        en.schedule_at(SimTime::from_ns(50), move |_| *h.borrow_mut() = true);
+        en.run_until(SimTime::from_ns(50));
+        assert!(*hit.borrow());
+    }
+
+    #[test]
+    fn run_while_condition() {
+        let mut en = Engine::new();
+        let count = Rc::new(RefCell::new(0u32));
+        for _ in 0..10 {
+            let c = count.clone();
+            en.schedule_in(SimDuration::from_ns(1), move |_| *c.borrow_mut() += 1);
+        }
+        let c = count.clone();
+        let drained = en.run_while(move || *c.borrow() < 4);
+        assert!(!drained);
+        assert_eq!(*count.borrow(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_trips() {
+        let mut en = Engine::new();
+        en.set_event_limit(100);
+        fn forever(en: &mut Engine) {
+            en.schedule_in(SimDuration::from_ns(1), forever);
+        }
+        en.schedule_now(forever);
+        en.run();
+    }
+}
