@@ -105,7 +105,11 @@ pub fn generate_image(fmt: ImageFormat, id: u64) -> (ImageHeader, Vec<u8>) {
         let row = y * w * 3;
         for x in 0..w {
             let o = row + x * 3;
-            let band = if (x / period) % 2 == 0 { 200u16 } else { 40u16 };
+            let band = if (x / period).is_multiple_of(2) {
+                200u16
+            } else {
+                40u16
+            };
             let grad = (255 * y / h) as u16;
             let noise = (rng.next_u64() & 0x0f) as u16;
             px[o] = ((band + noise).min(255)) as u8;

@@ -12,9 +12,7 @@
 //! SPDK host path ([`crate::spdk_ref`]), and — with a different front —
 //! the GPU reference ([`crate::gpu`]).
 
-use crate::images::{
-    classify, downscale, generate_image, ImageFormat, ImageHeader, HEADER_BYTES,
-};
+use crate::images::{classify, downscale, generate_image, ImageFormat, ImageHeader, HEADER_BYTES};
 use snacc_core::streamer::UserPorts;
 use snacc_fpga::axis::{self, AxisChannel, StreamBeat};
 use snacc_net::frame::{EthFrame, MacAddr};
@@ -90,6 +88,9 @@ impl ClassRecord {
     }
 }
 
+/// Shared wake callback installed into a [`CaseSink`].
+pub type WakeHook = Rc<RefCell<dyn FnMut(&mut Engine)>>;
+
 /// Storage backend abstraction for the database controller.
 pub trait CaseSink {
     /// Begin a write transfer of `len` bytes at SSD address `addr`.
@@ -101,7 +102,7 @@ pub trait CaseSink {
     /// Transfers fully persisted.
     fn completed(&self) -> u64;
     /// Install the wake callback (sink has space again / made progress).
-    fn set_wake(&mut self, wake: Rc<RefCell<dyn FnMut(&mut Engine)>>);
+    fn set_wake(&mut self, wake: WakeHook);
 }
 
 /// [`CaseSink`] over the SNAcc streamer's user ports.
@@ -147,7 +148,7 @@ impl CaseSink for StreamerSink {
         *self.responses.borrow()
     }
 
-    fn set_wake(&mut self, wake: Rc<RefCell<dyn FnMut(&mut Engine)>>) {
+    fn set_wake(&mut self, wake: WakeHook) {
         let w = wake.clone();
         self.ports
             .wr_in
@@ -226,11 +227,10 @@ impl<S: CaseSink + 'static> DbController<S> {
             en.schedule_now(move |en| Self::pump(&c, en));
         });
         let c2 = ctl.clone();
-        let wake: Rc<RefCell<dyn FnMut(&mut Engine)>> =
-            Rc::new(RefCell::new(move |en: &mut Engine| {
-                let c = c2.clone();
-                en.schedule_now(move |en| Self::pump(&c, en));
-            }));
+        let wake: WakeHook = Rc::new(RefCell::new(move |en: &mut Engine| {
+            let c = c2.clone();
+            en.schedule_now(move |en| Self::pump(&c, en));
+        }));
         ctl.borrow_mut().sink.set_wake(wake);
         ctl
     }
@@ -285,8 +285,11 @@ impl<S: CaseSink + 'static> DbController<S> {
 
     /// One state-machine step; returns whether progress was made.
     fn step(rc: &Rc<RefCell<DbController<S>>>, en: &mut Engine) -> bool {
+        // Classifier completion is scheduled only after the controller
+        // borrow is released (SL006): the scheduled closure re-borrows.
+        let mut classify_done: Option<SimTime> = None;
         let mut c = rc.borrow_mut();
-        match &mut c.state {
+        let progressed = match &mut c.state {
             DbState::Header => {
                 // Backpressure point: do not start a new image while the
                 // classifier FIFO is full.
@@ -381,11 +384,7 @@ impl<S: CaseSink + 'static> DbController<S> {
                 let svc = SimDuration::from_us_f64(1e6 / c.cfg.classifier_fps);
                 let start = c.classifier_free_at.max(en.now());
                 c.classifier_free_at = start + svc;
-                let rc2 = rc.clone();
-                en.schedule_at(c.classifier_free_at, move |en| {
-                    rc2.borrow_mut().classifier_queue -= 1;
-                    Self::pump(&rc2, en);
-                });
+                classify_done = Some(c.classifier_free_at);
                 let rec = ClassRecord {
                     id: hdr.id,
                     class,
@@ -418,7 +417,16 @@ impl<S: CaseSink + 'static> DbController<S> {
                 c.state = DbState::Header;
                 true
             }
+        };
+        drop(c);
+        if let Some(at) = classify_done {
+            let rc2 = rc.clone();
+            en.schedule_at(at, move |en| {
+                rc2.borrow_mut().classifier_queue -= 1;
+                Self::pump(&rc2, en);
+            });
         }
+        progressed
     }
 }
 
@@ -600,8 +608,18 @@ pub fn run_case_study_front<S: CaseSink + 'static>(
     cfg: CaseStudyConfig,
     sink: S,
 ) -> (Rc<RefCell<DbController<S>>>, Rc<RefCell<ImageSender>>) {
-    let tx = EthMac::new("tx-fpga", MacAddr::from_index(1), MacConfig::eth_100g(), 101);
-    let rx = EthMac::new("rx-fpga", MacAddr::from_index(2), MacConfig::eth_100g(), 102);
+    let tx = EthMac::new(
+        "tx-fpga",
+        MacAddr::from_index(1),
+        MacConfig::eth_100g(),
+        101,
+    );
+    let rx = EthMac::new(
+        "rx-fpga",
+        MacAddr::from_index(2),
+        MacConfig::eth_100g(),
+        102,
+    );
     mac::connect(&tx, &rx);
     let rx_ch = AxisChannel::new("rx-stream", 256 << 10);
     RxBridge::install(en, rx.clone(), rx_ch.clone());
@@ -635,11 +653,7 @@ pub fn run_snacc_case_study(
     assert_eq!(c.images_stored, cfg.images);
     let image_bytes = cfg.images * ImageFormat::capture().bytes() as u64;
     let elapsed = end.since(start);
-    let correct = c
-        .records
-        .iter()
-        .filter(|r| r.class == r.truth)
-        .count() as u64;
+    let correct = c.records.iter().filter(|r| r.class == r.truth).count() as u64;
     CaseStudyReport {
         images: c.images_stored,
         image_bytes,

@@ -13,9 +13,7 @@
 //! host reactor flushes it to the SSD through the SPDK driver while the
 //! other buffer fills.
 
-use crate::pipeline::{
-    run_case_study_front, CaseSink, CaseStudyConfig, CaseStudyReport,
-};
+use crate::pipeline::{run_case_study_front, CaseSink, CaseStudyConfig, CaseStudyReport, WakeHook};
 use crate::system::{layout, HostSystem};
 use snacc_mem::hostmem::PinnedBuffer;
 use snacc_mem::HostMemory;
@@ -83,7 +81,7 @@ struct Inner {
     completed_transfers: u64,
     /// Transfers whose last command hasn't completed yet per buffer.
     pending_transfer_counts: [u64; 2],
-    wake: Option<Rc<RefCell<dyn FnMut(&mut Engine)>>>,
+    wake: Option<WakeHook>,
 }
 
 /// [`CaseSink`] that routes through host memory + SPDK. Cloning yields a
@@ -267,7 +265,11 @@ impl Inner {
             let data = {
                 let i = rc.borrow();
                 let base = i.buffers[buf].pinned.phys_addr(stage_off);
-                let out = i.hostmem.borrow_mut().store_mut().read_vec(base, len as usize);
+                let out = i
+                    .hostmem
+                    .borrow_mut()
+                    .store_mut()
+                    .read_vec(base, len as usize);
                 out
             };
             let submit = {
@@ -403,7 +405,7 @@ impl CaseSink for SpdkSink {
         self.inner.borrow().completed_transfers
     }
 
-    fn set_wake(&mut self, wake: Rc<RefCell<dyn FnMut(&mut Engine)>>) {
+    fn set_wake(&mut self, wake: WakeHook) {
         self.inner.borrow_mut().wake = Some(wake);
     }
 }

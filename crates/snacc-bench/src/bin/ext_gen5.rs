@@ -17,7 +17,8 @@ fn run(profile: NvmeProfile, write: bool) -> f64 {
     let mut sys = SnaccSystem::bring_up(cfg);
     let total: u64 = 1 << 30;
     if !write {
-        sys.nvme.with(|d| d.nand_mut().prewarm(0, total, fill_byte(7)));
+        sys.nvme
+            .with(|d| d.nand_mut().prewarm(0, total, fill_byte(7)));
     }
     let t0 = sys.en.now();
     if write {
@@ -38,9 +39,24 @@ fn main() {
         let r = run(profile.clone(), false);
         let w = run(profile, true);
         println!("{label}: seq-r {r:.2} GB/s, seq-w {w:.2} GB/s");
-        records.push(BenchRecord::new("ext_gen5", &format!("{label} seq-r"), r, None, "GB/s"));
-        records.push(BenchRecord::new("ext_gen5", &format!("{label} seq-w"), w, None, "GB/s"));
+        records.push(BenchRecord::new(
+            "ext_gen5",
+            &format!("{label} seq-r"),
+            r,
+            None,
+            "GB/s",
+        ));
+        records.push(BenchRecord::new(
+            "ext_gen5",
+            &format!("{label} seq-w"),
+            w,
+            None,
+            "GB/s",
+        ));
     }
-    print_table("Sec 7 extension — PCIe Gen5 projection (host-DRAM variant)", &records);
+    print_table(
+        "Sec 7 extension — PCIe Gen5 projection (host-DRAM variant)",
+        &records,
+    );
     snacc_bench::report::save_json(&records);
 }

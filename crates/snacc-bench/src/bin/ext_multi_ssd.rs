@@ -29,13 +29,12 @@ fn aggregate_write_bw(n_ssds: usize) -> f64 {
 
     let mut streamers = Vec::new();
     for i in 0..n_ssds {
-        let mut plugin =
-            NvmeSubsystem::new(StreamerConfig::snacc(StreamerVariant::Uram));
+        let mut plugin = NvmeSubsystem::new(StreamerConfig::snacc(StreamerVariant::Uram));
         shell.apply_plugin(&mut en, &mut plugin);
         let streamer = plugin.streamer();
         let nvme = NvmeDeviceHandle::attach(
             fabric.clone(),
-            layout::NVME_BAR + (i as u64) << 28,
+            (layout::NVME_BAR + (i as u64)) << 28,
             NvmeProfile::samsung_990pro(),
             100 + i as u64,
         );

@@ -51,13 +51,19 @@ fn main() {
     let in_order = snacc_rand_bandwidth(StreamerVariant::Uram, Dir::Read, total, 0xF1B4);
     let ooo = ooo_rand_read(total);
     let records = vec![
-        BenchRecord::new("ext_ooo", "in-order retirement (paper)", in_order, Some(1.6), "GB/s"),
+        BenchRecord::new(
+            "ext_ooo",
+            "in-order retirement (paper)",
+            in_order,
+            Some(1.6),
+            "GB/s",
+        ),
         BenchRecord::new("ext_ooo", "out-of-order issue (Sec 7)", ooo, None, "GB/s"),
     ];
-    println!(
-        "OoO speedup on random 4 KiB reads: {:.2}x",
-        ooo / in_order
+    println!("OoO speedup on random 4 KiB reads: {:.2}x", ooo / in_order);
+    print_table(
+        "Sec 7 extension — out-of-order retirement, random reads",
+        &records,
     );
-    print_table("Sec 7 extension — out-of-order retirement, random reads", &records);
     snacc_bench::report::save_json(&records);
 }

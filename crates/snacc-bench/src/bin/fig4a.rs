@@ -23,15 +23,65 @@ fn main() {
         3 << 30
     };
 
-    let jobs: Vec<(String, Dir, Option<StreamerVariant>, Option<f64>, Option<f64>)> = vec![
-        ("URAM seq-r".into(), Dir::Read, Some(StreamerVariant::Uram), Some(6.9), None),
-        ("On-board DRAM seq-r".into(), Dir::Read, Some(StreamerVariant::OnboardDram), Some(6.9), None),
-        ("Host DRAM seq-r".into(), Dir::Read, Some(StreamerVariant::HostDram), Some(6.9), None),
+    // (label, direction, variant [None = SPDK], paper GB/s, paper-lo GB/s)
+    type Job = (
+        String,
+        Dir,
+        Option<StreamerVariant>,
+        Option<f64>,
+        Option<f64>,
+    );
+    let jobs: Vec<Job> = vec![
+        (
+            "URAM seq-r".into(),
+            Dir::Read,
+            Some(StreamerVariant::Uram),
+            Some(6.9),
+            None,
+        ),
+        (
+            "On-board DRAM seq-r".into(),
+            Dir::Read,
+            Some(StreamerVariant::OnboardDram),
+            Some(6.9),
+            None,
+        ),
+        (
+            "Host DRAM seq-r".into(),
+            Dir::Read,
+            Some(StreamerVariant::HostDram),
+            Some(6.9),
+            None,
+        ),
         ("SPDK seq-r".into(), Dir::Read, None, Some(6.9), None),
-        ("URAM seq-w".into(), Dir::Write, Some(StreamerVariant::Uram), Some(5.6), Some(5.32)),
-        ("On-board DRAM seq-w".into(), Dir::Write, Some(StreamerVariant::OnboardDram), Some(4.8), Some(4.6)),
-        ("Host DRAM seq-w".into(), Dir::Write, Some(StreamerVariant::HostDram), Some(6.24), Some(5.90)),
-        ("SPDK seq-w".into(), Dir::Write, None, Some(6.24), Some(5.90)),
+        (
+            "URAM seq-w".into(),
+            Dir::Write,
+            Some(StreamerVariant::Uram),
+            Some(5.6),
+            Some(5.32),
+        ),
+        (
+            "On-board DRAM seq-w".into(),
+            Dir::Write,
+            Some(StreamerVariant::OnboardDram),
+            Some(4.8),
+            Some(4.6),
+        ),
+        (
+            "Host DRAM seq-w".into(),
+            Dir::Write,
+            Some(StreamerVariant::HostDram),
+            Some(6.24),
+            Some(5.90),
+        ),
+        (
+            "SPDK seq-w".into(),
+            Dir::Write,
+            None,
+            Some(6.24),
+            Some(5.90),
+        ),
     ];
 
     let records: Vec<BenchRecord> = jobs

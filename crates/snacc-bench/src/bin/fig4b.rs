@@ -13,13 +13,43 @@ fn main() {
         1 << 30
     };
     let jobs: Vec<(String, Dir, Option<StreamerVariant>, Option<f64>)> = vec![
-        ("URAM rand-r".into(), Dir::Read, Some(StreamerVariant::Uram), Some(1.6)),
-        ("On-board DRAM rand-r".into(), Dir::Read, Some(StreamerVariant::OnboardDram), Some(1.6)),
-        ("Host DRAM rand-r".into(), Dir::Read, Some(StreamerVariant::HostDram), Some(1.6)),
+        (
+            "URAM rand-r".into(),
+            Dir::Read,
+            Some(StreamerVariant::Uram),
+            Some(1.6),
+        ),
+        (
+            "On-board DRAM rand-r".into(),
+            Dir::Read,
+            Some(StreamerVariant::OnboardDram),
+            Some(1.6),
+        ),
+        (
+            "Host DRAM rand-r".into(),
+            Dir::Read,
+            Some(StreamerVariant::HostDram),
+            Some(1.6),
+        ),
         ("SPDK rand-r".into(), Dir::Read, None, Some(4.5)),
-        ("URAM rand-w".into(), Dir::Write, Some(StreamerVariant::Uram), Some(4.6)),
-        ("On-board DRAM rand-w".into(), Dir::Write, Some(StreamerVariant::OnboardDram), Some(4.5)),
-        ("Host DRAM rand-w".into(), Dir::Write, Some(StreamerVariant::HostDram), Some(4.8)),
+        (
+            "URAM rand-w".into(),
+            Dir::Write,
+            Some(StreamerVariant::Uram),
+            Some(4.6),
+        ),
+        (
+            "On-board DRAM rand-w".into(),
+            Dir::Write,
+            Some(StreamerVariant::OnboardDram),
+            Some(4.5),
+        ),
+        (
+            "Host DRAM rand-w".into(),
+            Dir::Write,
+            Some(StreamerVariant::HostDram),
+            Some(4.8),
+        ),
         ("SPDK rand-w".into(), Dir::Write, None, Some(5.25)),
     ];
     let records: Vec<BenchRecord> = jobs

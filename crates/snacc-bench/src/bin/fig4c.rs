@@ -10,13 +10,43 @@ use snacc_core::config::StreamerVariant;
 fn main() {
     let trials = 100;
     let jobs: Vec<(String, Dir, Option<StreamerVariant>, Option<f64>)> = vec![
-        ("URAM read".into(), Dir::Read, Some(StreamerVariant::Uram), Some(34.0)),
-        ("On-board DRAM read".into(), Dir::Read, Some(StreamerVariant::OnboardDram), Some(41.0)),
-        ("Host DRAM read".into(), Dir::Read, Some(StreamerVariant::HostDram), Some(43.0)),
+        (
+            "URAM read".into(),
+            Dir::Read,
+            Some(StreamerVariant::Uram),
+            Some(34.0),
+        ),
+        (
+            "On-board DRAM read".into(),
+            Dir::Read,
+            Some(StreamerVariant::OnboardDram),
+            Some(41.0),
+        ),
+        (
+            "Host DRAM read".into(),
+            Dir::Read,
+            Some(StreamerVariant::HostDram),
+            Some(43.0),
+        ),
         ("SPDK read".into(), Dir::Read, None, Some(57.0)),
-        ("URAM write".into(), Dir::Write, Some(StreamerVariant::Uram), Some(9.0)),
-        ("On-board DRAM write".into(), Dir::Write, Some(StreamerVariant::OnboardDram), Some(9.0)),
-        ("Host DRAM write".into(), Dir::Write, Some(StreamerVariant::HostDram), Some(9.0)),
+        (
+            "URAM write".into(),
+            Dir::Write,
+            Some(StreamerVariant::Uram),
+            Some(9.0),
+        ),
+        (
+            "On-board DRAM write".into(),
+            Dir::Write,
+            Some(StreamerVariant::OnboardDram),
+            Some(9.0),
+        ),
+        (
+            "Host DRAM write".into(),
+            Dir::Write,
+            Some(StreamerVariant::HostDram),
+            Some(9.0),
+        ),
         ("SPDK write".into(), Dir::Write, None, Some(6.0)),
     ];
     let records: Vec<BenchRecord> = jobs
@@ -29,6 +59,9 @@ fn main() {
             BenchRecord::new("fig4c", &label, us, paper, "us")
         })
         .collect();
-    print_table("Fig 4c — single 4 KiB access latency (µs; write rows: paper reports <9 µs)", &records);
+    print_table(
+        "Fig 4c — single 4 KiB access latency (µs; write rows: paper reports <9 µs)",
+        &records,
+    );
     snacc_bench::report::save_json(&records);
 }

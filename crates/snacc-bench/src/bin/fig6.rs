@@ -25,9 +25,18 @@ fn main() {
         Gpu(f64),
     }
     let jobs = vec![
-        ("FPGA (URAM)".to_string(), Cfg::Snacc(StreamerVariant::Uram, 5.6)),
-        ("FPGA (On-board DRAM)".to_string(), Cfg::Snacc(StreamerVariant::OnboardDram, 4.8)),
-        ("FPGA (Host DRAM)".to_string(), Cfg::Snacc(StreamerVariant::HostDram, 6.1)),
+        (
+            "FPGA (URAM)".to_string(),
+            Cfg::Snacc(StreamerVariant::Uram, 5.6),
+        ),
+        (
+            "FPGA (On-board DRAM)".to_string(),
+            Cfg::Snacc(StreamerVariant::OnboardDram, 4.8),
+        ),
+        (
+            "FPGA (Host DRAM)".to_string(),
+            Cfg::Snacc(StreamerVariant::HostDram, 6.1),
+        ),
         ("SPDK".to_string(), Cfg::Spdk(6.1)),
         ("GPU".to_string(), Cfg::Gpu(5.76)),
     ];
@@ -45,18 +54,21 @@ fn main() {
                     (r, paper)
                 }
                 Cfg::Spdk(paper) => (run_spdk_case_study(cfg.clone(), 7), paper),
-                Cfg::Gpu(paper) => (run_gpu_case_study(cfg.clone(), GpuModel::default(), 7), paper),
+                Cfg::Gpu(paper) => (
+                    run_gpu_case_study(cfg.clone(), GpuModel::default(), 7),
+                    paper,
+                ),
             };
             println!(
                 "{label}: {:.2} GB/s, {:.0} frames/s, accuracy {}/{}",
-                report.bandwidth_gbps,
-                report.fps,
-                report.correct,
-                report.classified
+                report.bandwidth_gbps, report.fps, report.correct, report.classified
             );
             BenchRecord::new("fig6", &label, report.bandwidth_gbps, Some(paper), "GB/s")
         })
         .collect();
-    print_table("Fig 6 — case-study bandwidth (GB/s; paper: 676 f/s at 6.1)", &records);
+    print_table(
+        "Fig 6 — case-study bandwidth (GB/s; paper: 676 f/s at 6.1)",
+        &records,
+    );
     snacc_bench::report::save_json(&records);
 }

@@ -28,9 +28,21 @@ fn main() {
     // Paper reports relative transfer volume; ~1× for the on-card
     // variants, ~2× for host staging, most for the GPU.
     let jobs = vec![
-        ("FPGA (URAM)".to_string(), Cfg::Snacc(StreamerVariant::Uram), 1.0),
-        ("FPGA (On-board DRAM)".to_string(), Cfg::Snacc(StreamerVariant::OnboardDram), 1.0),
-        ("FPGA (Host DRAM)".to_string(), Cfg::Snacc(StreamerVariant::HostDram), 2.0),
+        (
+            "FPGA (URAM)".to_string(),
+            Cfg::Snacc(StreamerVariant::Uram),
+            1.0,
+        ),
+        (
+            "FPGA (On-board DRAM)".to_string(),
+            Cfg::Snacc(StreamerVariant::OnboardDram),
+            1.0,
+        ),
+        (
+            "FPGA (Host DRAM)".to_string(),
+            Cfg::Snacc(StreamerVariant::HostDram),
+            2.0,
+        ),
         ("SPDK".to_string(), Cfg::Spdk, 2.0),
         ("GPU".to_string(), Cfg::Gpu, 2.1),
     ];

@@ -1,11 +1,11 @@
 //! Result records and table printing shared by the evaluation binaries.
 
-use serde::Serialize;
+use serde_json::{Map, Value};
 use std::io::Write as _;
 use std::path::Path;
 
 /// One measured value with paper reference for side-by-side reporting.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct BenchRecord {
     /// Experiment id (e.g. "fig4a").
     pub experiment: String,
@@ -45,6 +45,21 @@ impl BenchRecord {
         self.measured_lo = Some(lo);
         self
     }
+
+    /// Explicit JSON projection (the vendored serde_json has no derive).
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("experiment", Value::from(self.experiment.as_str()));
+        m.insert("label", Value::from(self.label.as_str()));
+        m.insert("measured", Value::from(self.measured));
+        m.insert(
+            "measured_lo",
+            self.measured_lo.map(Value::from).unwrap_or(Value::Null),
+        );
+        m.insert("paper", self.paper.map(Value::from).unwrap_or(Value::Null));
+        m.insert("unit", Value::from(self.unit.as_str()));
+        Value::Object(m)
+    }
 }
 
 /// Print an experiment's records as an aligned table with paper values.
@@ -63,7 +78,10 @@ pub fn print_table(title: &str, records: &[BenchRecord]) {
             .paper
             .map(|p| format!("{p:.2}"))
             .unwrap_or_else(|| "-".to_string());
-        println!("{:<28} {:>18} {:>12} {:>8}", r.label, measured, paper, r.unit);
+        println!(
+            "{:<28} {:>18} {:>12} {:>8}",
+            r.label, measured, paper, r.unit
+        );
     }
 }
 
@@ -78,8 +96,9 @@ pub fn save_json(records: &[BenchRecord]) {
         return;
     }
     let path = dir.join(format!("{}.json", records[0].experiment));
+    let doc = Value::Array(records.iter().map(BenchRecord::to_json).collect());
     if let Ok(mut f) = std::fs::File::create(&path) {
-        let _ = writeln!(f, "{}", serde_json::to_string_pretty(records).unwrap());
+        let _ = writeln!(f, "{}", serde_json::to_string_pretty(&doc));
         eprintln!("(saved {})", path.display());
     }
 }
@@ -97,9 +116,6 @@ mod tests {
 
     #[test]
     fn print_does_not_panic() {
-        print_table(
-            "t",
-            &[BenchRecord::new("x", "a", 1.0, None, "GB/s")],
-        );
+        print_table("t", &[BenchRecord::new("x", "a", 1.0, None, "GB/s")]);
     }
 }

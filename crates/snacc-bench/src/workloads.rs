@@ -269,7 +269,9 @@ pub fn spdk_bandwidth(dir: Dir, random: bool, total: u64, qd: u16, seed: u64) ->
             let addr = addrs[*i as usize];
             match dir {
                 Dir::Read => spdk.submit_read(&mut host.en, addr, cmd).expect("prime"),
-                Dir::Write => spdk.submit_write(&mut host.en, addr, &payload).expect("prime"),
+                Dir::Write => spdk
+                    .submit_write(&mut host.en, addr, &payload)
+                    .expect("prime"),
             };
             *i += 1;
         }
@@ -358,7 +360,9 @@ pub fn spdk_latency_us(dir: Dir, trials: u32, seed: u64) -> f64 {
         let addr = (40 << 30) + rng.gen_range(1 << 18) * 4096;
         match dir {
             Dir::Read => spdk.submit_read(&mut host.en, addr, 4096).expect("submit"),
-            Dir::Write => spdk.submit_write(&mut host.en, addr, &payload).expect("submit"),
+            Dir::Write => spdk
+                .submit_write(&mut host.en, addr, &payload)
+                .expect("submit"),
         };
         host.en.run();
         sum += lat.borrow().as_us_f64();

@@ -17,8 +17,8 @@
 //! Initialisation drives the engine to quiescence between steps — it is
 //! the only active initiator at bring-up time.
 
-use crate::streamer::{NvmeStreamer, StreamerHandle};
 use crate::config::StreamerVariant;
+use crate::streamer::{NvmeStreamer, StreamerHandle};
 use snacc_mem::{AddrRange, HostMemory};
 use snacc_nvme::queue::{CqRing, SqRing};
 use snacc_nvme::spec::{self, AdminOpcode, Cqe, Sqe, Status};
@@ -134,7 +134,8 @@ impl SnaccHostDriver {
         sqe.cid = self.admin_sq.tail();
         {
             let mut hm = self.hostmem.borrow_mut();
-            hm.store_mut().write(self.admin_sq.tail_addr(), &sqe.encode());
+            hm.store_mut()
+                .write(self.admin_sq.tail_addr(), &sqe.encode());
         }
         let tail = self.admin_sq.advance_tail();
         self.reg_write32(en, spec::regs::sq_tail_doorbell(0), tail as u32);
@@ -143,7 +144,9 @@ impl SnaccHostDriver {
             let mut hm = self.hostmem.borrow_mut();
             hm.store_mut().read_vec(self.admin_cq.head_addr(), 16)
         };
-        let cqe = Cqe::decode(&raw);
+        let Ok(cqe) = Cqe::decode(&raw) else {
+            return Err(DriverError::NotReady);
+        };
         if cqe.phase != self.admin_cq.expected_phase() {
             return Err(DriverError::NotReady);
         }

@@ -23,7 +23,7 @@ impl MultiSsd {
     /// of 4 KiB keeps commands page-aligned).
     pub fn new(streamers: Vec<StreamerHandle>, stripe_bytes: u64) -> Self {
         assert!(!streamers.is_empty());
-        assert!(stripe_bytes > 0 && stripe_bytes % 4096 == 0);
+        assert!(stripe_bytes > 0 && stripe_bytes.is_multiple_of(4096));
         MultiSsd {
             streamers,
             stripe_bytes,
@@ -44,7 +44,10 @@ impl MultiSsd {
     /// round-robin striping. Returns `(member, member_addr, len)` pieces
     /// in logical order.
     pub fn stripe_extent(&self, addr: u64, len: u64) -> Vec<(usize, u64, u64)> {
-        assert!(addr % self.stripe_bytes == 0, "extent must be stripe-aligned");
+        assert!(
+            addr.is_multiple_of(self.stripe_bytes),
+            "extent must be stripe-aligned"
+        );
         let n = self.streamers.len() as u64;
         let mut out = Vec::new();
         let mut off = 0u64;
@@ -132,12 +135,7 @@ mod tests {
         let pieces = m.stripe_extent(0, 16384);
         assert_eq!(
             pieces,
-            vec![
-                (0, 0, 4096),
-                (1, 0, 4096),
-                (0, 4096, 4096),
-                (1, 4096, 4096),
-            ]
+            vec![(0, 0, 4096), (1, 0, 4096), (0, 4096, 4096), (1, 4096, 4096),]
         );
     }
 

@@ -68,8 +68,7 @@ mod tests {
         let fabric = Rc::new(RefCell::new(PcieFabric::new()));
         let mut en = Engine::new();
         let mut shell = TapascoShell::new(fabric, 0x4_0000_0000);
-        let mut plugin =
-            NvmeSubsystem::new(StreamerConfig::snacc(StreamerVariant::OnboardDram));
+        let mut plugin = NvmeSubsystem::new(StreamerConfig::snacc(StreamerVariant::OnboardDram));
         shell.apply_plugin(&mut en, &mut plugin);
         let w = plugin.streamer().windows();
         // The 64 MB data windows cannot live in the 64 MB BAR0.

@@ -47,7 +47,7 @@ pub struct RingAllocator {
 impl RingAllocator {
     /// An allocator over `capacity` bytes (must be 4 KiB aligned).
     pub fn new(capacity: u64) -> Self {
-        assert!(capacity >= REGION_ALIGN && capacity % REGION_ALIGN == 0);
+        assert!(capacity >= REGION_ALIGN && capacity.is_multiple_of(REGION_ALIGN));
         RingAllocator {
             capacity,
             head: 0,
@@ -184,7 +184,7 @@ mod tests {
         let a = r.alloc(8 << 10).unwrap(); // [0, 8k)
         r.free_oldest(a);
         let b = r.alloc(4 << 10).unwrap(); // [8k, 12k)
-        // 8 KiB: tail is 4 KiB → wrap, skipping 4 KiB. used = 4k + skip4k + 8k = 16k.
+                                           // 8 KiB: tail is 4 KiB → wrap, skipping 4 KiB. used = 4k + skip4k + 8k = 16k.
         let c = r.alloc(8 << 10).unwrap();
         assert_eq!(c.offset, 0);
         assert_eq!(r.used(), 16 << 10);

@@ -367,8 +367,8 @@ impl StreamerHandle {
             wr_resp: AxisChannel::new("snacc.wr_resp", 4096),
         };
 
-        let wr_ring = (cfg.write_buffer_bytes() > 0)
-            .then(|| RingAllocator::new(cfg.write_buffer_bytes()));
+        let wr_ring =
+            (cfg.write_buffer_bytes() > 0).then(|| RingAllocator::new(cfg.write_buffer_bytes()));
         let streamer = Rc::new(RefCell::new(NvmeStreamer {
             rd_ring: RingAllocator::new(cfg.read_buffer_bytes()),
             wr_ring,
@@ -533,15 +533,21 @@ impl StreamerHandle {
                 let mut mem = s.cq_mem.borrow_mut();
                 mem.mem_mut().read_vec(off, 16)
             };
-            let cqe = Cqe::decode(&raw);
-            format!(
-                " | cq_head={} cq_phase={} slot_cqe={{cid:{} phase:{} sqhead:{}}}",
-                s.cq_ring.head(),
-                s.cq_ring.expected_phase(),
-                cqe.cid,
-                cqe.phase,
-                cqe.sq_head
-            )
+            match Cqe::decode(&raw) {
+                Ok(cqe) => format!(
+                    " | cq_head={} cq_phase={} slot_cqe={{cid:{} phase:{} sqhead:{}}}",
+                    s.cq_ring.head(),
+                    s.cq_ring.expected_phase(),
+                    cqe.cid,
+                    cqe.phase,
+                    cqe.sq_head
+                ),
+                Err(e) => format!(
+                    " | cq_head={} cq_phase={} slot_cqe=<{e}>",
+                    s.cq_ring.head(),
+                    s.cq_ring.expected_phase()
+                ),
+            }
         }
     }
 
@@ -553,12 +559,6 @@ impl StreamerHandle {
             && s.accum.is_none()
             && s.active_stream.is_none()
             && s.xfers.is_empty()
-    }
-
-    /// Shared access for the plugin/driver layers.
-    #[allow(dead_code)]
-    pub(crate) fn inner(&self) -> Rc<RefCell<NvmeStreamer>> {
-        self.inner.clone()
     }
 }
 
@@ -580,7 +580,9 @@ impl NvmeStreamer {
                     BufKind::Read => rd_buf,
                     BufKind::Write => wr_buf,
                 };
-                b.as_ref().expect("host buffers installed").phys_addr(offset)
+                b.as_ref()
+                    .expect("host buffers installed")
+                    .phys_addr(offset)
             }
         }
     }
@@ -670,8 +672,7 @@ fn buf_write(
         Op::Uram(mem) => {
             let mut m = mem.borrow_mut();
             // The local port books from `start`.
-            let t = m
-                .access(start, snacc_mem::MemDir::Write, offset, data.len() as u64);
+            let t = m.access(start, snacc_mem::MemDir::Write, offset, data.len() as u64);
             m.store_mut().write(offset, data);
             t
         }
@@ -792,7 +793,10 @@ fn accept_read_cmds(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
         let addr = u64::from_le_bytes(beat.data[0..8].try_into().unwrap());
         let len = u64::from_le_bytes(beat.data[8..16].try_into().unwrap());
         assert!(len > 0, "zero-length read");
-        assert!(addr % LBA == 0 && len % LBA == 0, "reads must be LBA-aligned");
+        assert!(
+            addr % LBA == 0 && len % LBA == 0,
+            "reads must be LBA-aligned"
+        );
         // Split at the 1 MB boundary (Sec 4.2).
         let mut s = rc.borrow_mut();
         let max = s.cfg.max_cmd_bytes;
@@ -993,10 +997,7 @@ fn try_issue(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
                 PendingCmd::Read { len, .. } => {
                     let padded = len.div_ceil(PAGE) * PAGE;
                     let region = s.rd_ring.alloc(padded);
-                    match region {
-                        Some(r) => Some(Some(r)),
-                        None => None, // buffer full → stall issue
-                    }
+                    region.map(Some)
                 }
                 PendingCmd::Write { .. } => Some(None),
             };
@@ -1022,12 +1023,7 @@ fn try_issue(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
                 last_of_xfer,
             } => {
                 let region = read_region.expect("read region allocated");
-                let sqe = Sqe::io(
-                    IoOpcode::Read,
-                    0,
-                    nvme_addr / LBA,
-                    (len / LBA - 1) as u16,
-                );
+                let sqe = Sqe::io(IoOpcode::Read, 0, nvme_addr / LBA, (len / LBA - 1) as u16);
                 (
                     sqe,
                     CmdInfo::Read {
@@ -1046,13 +1042,14 @@ fn try_issue(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
                 region,
                 xfer_id,
             } => {
-                let sqe = Sqe::io(
-                    IoOpcode::Write,
-                    0,
-                    nvme_addr / LBA,
-                    (len / LBA - 1) as u16,
-                );
-                (sqe, CmdInfo::Write { region, xfer_id }, BufKind::Write, region, len)
+                let sqe = Sqe::io(IoOpcode::Write, 0, nvme_addr / LBA, (len / LBA - 1) as u16);
+                (
+                    sqe,
+                    CmdInfo::Write { region, xfer_id },
+                    BufKind::Write,
+                    region,
+                    len,
+                )
             }
         }
     };
@@ -1075,11 +1072,12 @@ fn try_issue(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
                 StreamerVariant::OnboardDram => {
                     let second = s.page_dev_addr(kind, region.offset + PAGE);
                     let slots = s.cfg.sq_entries as usize;
-                    s.regfile
-                        .as_ref()
-                        .unwrap()
-                        .borrow_mut()
-                        .set(cid, PrpMapping::Contig { second_page: second });
+                    s.regfile.as_ref().unwrap().borrow_mut().set(
+                        cid,
+                        PrpMapping::Contig {
+                            second_page: second,
+                        },
+                    );
                     sqe.prp2 = RegFilePrpWindow::prp2_for(s.windows.prp.base, cid, slots);
                 }
                 StreamerVariant::HostDram => {
@@ -1162,12 +1160,13 @@ fn process_cq(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
                 let mut mem = s.cq_mem.borrow_mut();
                 mem.mem_mut().read_vec(off, 16)
             };
-            let cqe = Cqe::decode(&raw);
-            if cqe.phase != s.cq_ring.expected_phase() {
-                None
-            } else {
-                s.cq_ring.consume();
-                Some(cqe)
+            match Cqe::decode(&raw) {
+                Ok(cqe) if cqe.phase == s.cq_ring.expected_phase() => {
+                    s.cq_ring.consume();
+                    Some(cqe)
+                }
+                // Wrong phase (nothing new) or malformed slot: stop reaping.
+                _ => None,
             }
         };
         let Some(cqe) = cqe else {
@@ -1254,7 +1253,7 @@ fn try_retire(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
             }
             Next::Read => {
                 // Begin streaming the head read's data (retire when done).
-                let stream = {
+                {
                     let mut s = rc.borrow_mut();
                     let (_cid, _ok, info) = s
                         .rob
@@ -1278,9 +1277,7 @@ fn try_retire(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
                         waiting_space: false,
                         inflight: 0,
                     });
-                    ()
-                };
-                let _ = stream;
+                }
                 stream_out_step(rc, en);
                 if rc.borrow().active_stream.is_some() {
                     return; // still streaming asynchronously
@@ -1377,7 +1374,14 @@ fn stream_out_step(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
             Next::Wait => return,
             Next::Issue(region, pos, chunk, last_of_xfer, total) => {
                 let mut data = vec![0u8; chunk as usize];
-                let t = buf_read(rc, en, en.now(), BufKind::Read, region.offset + pos, &mut data);
+                let t = buf_read(
+                    rc,
+                    en,
+                    en.now(),
+                    BufKind::Read,
+                    region.offset + pos,
+                    &mut data,
+                );
                 let is_last_beat = last_of_xfer && pos + chunk == total;
                 let rc2 = rc.clone();
                 en.schedule_at(t.max(en.now()), move |en| {

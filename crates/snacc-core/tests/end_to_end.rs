@@ -12,7 +12,7 @@ use snacc_mem::{fnv1a, AddrRange, HostMemory};
 use snacc_nvme::{NvmeDeviceHandle, NvmeProfile};
 use snacc_pcie::target::HostMemTarget;
 use snacc_pcie::{Iommu, PcieFabric, HOST_NODE};
-use snacc_sim::{Engine, SimRng, SimTime};
+use snacc_sim::{Engine, SimRng};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -46,12 +46,8 @@ pub fn build_system(variant: StreamerVariant, enforce_iommu: bool) -> System {
     shell.apply_plugin(&mut en, &mut plugin);
     let streamer = plugin.streamer();
 
-    let nvme = NvmeDeviceHandle::attach(
-        fabric.clone(),
-        NVME_BAR,
-        NvmeProfile::samsung_990pro(),
-        42,
-    );
+    let nvme =
+        NvmeDeviceHandle::attach(fabric.clone(), NVME_BAR, NvmeProfile::samsung_990pro(), 42);
 
     let mut driver = SnaccHostDriver::new(fabric.clone(), hostmem.clone(), nvme.clone());
     // Grant the SSD access to the driver's admin structures (the driver
@@ -112,7 +108,11 @@ pub fn do_write(sys: &mut System, addr: u64, data: &[u8]) {
 /// Issue a read and collect the full transfer from `rd_data`.
 pub fn do_read(sys: &mut System, addr: u64, len: u64) -> Vec<u8> {
     let ports = sys.streamer.ports();
-    assert!(axis::push(&ports.rd_cmd, &mut sys.en, encode_read_cmd(addr, len)));
+    assert!(axis::push(
+        &ports.rd_cmd,
+        &mut sys.en,
+        encode_read_cmd(addr, len)
+    ));
     let mut out = Vec::with_capacity(len as usize);
     loop {
         if let Some(beat) = axis::pop(&ports.rd_data, &mut sys.en) {

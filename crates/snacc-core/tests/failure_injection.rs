@@ -65,7 +65,11 @@ fn iommu_revocation_produces_error_completions() {
             .grant(nvme.node(), AddrRange::new(0x1_0000_0000, 1 << 20));
     }
     let ports = streamer.ports();
-    axis::push(&ports.wr_in, &mut en, StreamBeat::mid(0u64.to_le_bytes().to_vec()));
+    axis::push(
+        &ports.wr_in,
+        &mut en,
+        StreamBeat::mid(0u64.to_le_bytes().to_vec()),
+    );
     axis::push(&ports.wr_in, &mut en, StreamBeat::last(vec![1u8; 8192]));
     en.run();
     // Response token still arrives (protocol liveness under errors).
@@ -121,7 +125,8 @@ fn device_rejects_misaligned_prp_list_entries() {
     fabric
         .borrow_mut()
         .map_region(HOST_NODE, AddrRange::new(0, 8 << 30), t);
-    let nvme = NvmeDeviceHandle::attach(fabric.clone(), NVME_BAR, NvmeProfile::samsung_990pro(), 9);
+    let _nvme =
+        NvmeDeviceHandle::attach(fabric.clone(), NVME_BAR, NvmeProfile::samsung_990pro(), 9);
     // Minimal admin bring-up through raw registers.
     use snacc_nvme::spec::{cc, regs};
     let asq = 0x10_0000u64;
@@ -141,14 +146,19 @@ fn device_rejects_misaligned_prp_list_entries() {
     // Create an I/O queue pair in host memory.
     let io_sq = 0x20_0000u64;
     let io_cq = 0x21_0000u64;
-    let mut submit_admin = |en: &mut Engine, sqe: Sqe, slot: u16| {
+    let submit_admin = |en: &mut Engine, sqe: Sqe, slot: u16| {
         hostmem
             .borrow_mut()
             .store_mut()
             .write(asq + slot as u64 * 64, &sqe.encode());
         fabric
             .borrow_mut()
-            .write_u32(en, HOST_NODE, NVME_BAR + regs::sq_tail_doorbell(0), slot as u32 + 1)
+            .write_u32(
+                en,
+                HOST_NODE,
+                NVME_BAR + regs::sq_tail_doorbell(0),
+                slot as u32 + 1,
+            )
             .unwrap();
         en.run();
     };
@@ -174,7 +184,7 @@ fn device_rejects_misaligned_prp_list_entries() {
         .unwrap();
     en.run();
     let raw = hostmem.borrow_mut().store_mut().read_vec(io_cq, 16);
-    let cqe = snacc_nvme::spec::Cqe::decode(&raw);
+    let cqe = snacc_nvme::spec::Cqe::decode(&raw).expect("CQE decodes");
     assert_eq!(cqe.cid, 7);
     assert_eq!(cqe.status, Status::InvalidField);
 }

@@ -214,7 +214,8 @@ mod tests {
         let d = data_hits.clone();
         let s = space_hits.clone();
         ch.borrow_mut().set_data_hook(move |_| *d.borrow_mut() += 1);
-        ch.borrow_mut().set_space_hook(move |_| *s.borrow_mut() += 1);
+        ch.borrow_mut()
+            .set_space_hook(move |_| *s.borrow_mut() += 1);
         push(&ch, &mut en, StreamBeat::mid(vec![0; 4]));
         assert_eq!(*data_hits.borrow(), 1);
         pop(&ch, &mut en);

@@ -142,12 +142,7 @@ impl StagePe {
 /// Convenience: drive a channel from a byte vector, chunked into beats of
 /// `chunk` bytes, TLAST on the final beat. Returns the beats pushed (the
 /// caller re-kicks on the space hook if it returns less than the total).
-pub fn feed_all(
-    ch: &Rc<RefCell<AxisChannel>>,
-    en: &mut Engine,
-    data: &[u8],
-    chunk: usize,
-) -> bool {
+pub fn feed_all(ch: &Rc<RefCell<AxisChannel>>, en: &mut Engine, data: &[u8], chunk: usize) -> bool {
     let n = data.len();
     let mut off = 0;
     while off < n {

@@ -1,0 +1,105 @@
+//! CLI for the SNAcc workspace lints.
+//!
+//! ```text
+//! cargo run -p snacc-lint -- check [--json] [--root DIR] [--allow FILE]
+//! cargo run -p snacc-lint -- rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use snacc_lint::{parse_allow_file, render_human, run_check, to_json, RULES};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: snacc-lint <check|rules> [--json] [--root DIR] [--allow FILE]\n\
+         \n\
+         check   scan all workspace .rs files against the SL rule catalog\n\
+         rules   print the rule catalog\n\
+         \n\
+         --json        machine-readable report on stdout\n\
+         --root DIR    workspace root to scan (default: .)\n\
+         --allow FILE  triaged-exception file (default: <root>/lint-allow.toml if present)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "rules" => {
+            for r in RULES {
+                println!("{}  {}", r.id, r.summary);
+                println!("       scope: {}", r.scope);
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let mut json = false;
+            let mut root = PathBuf::from(".");
+            let mut allow_path: Option<PathBuf> = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--root" => match it.next() {
+                        Some(d) => root = PathBuf::from(d),
+                        None => return usage(),
+                    },
+                    "--allow" => match it.next() {
+                        Some(f) => allow_path = Some(PathBuf::from(f)),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            if !root.is_dir() {
+                eprintln!("snacc-lint: root `{}` is not a directory", root.display());
+                return ExitCode::from(2);
+            }
+            let allow_file = allow_path.unwrap_or_else(|| root.join("lint-allow.toml"));
+            let allow = if allow_file.is_file() {
+                let text = match std::fs::read_to_string(&allow_file) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("snacc-lint: cannot read {}: {e}", allow_file.display());
+                        return ExitCode::from(2);
+                    }
+                };
+                match parse_allow_file(&text) {
+                    Ok(entries) => entries,
+                    Err(e) => {
+                        eprintln!("snacc-lint: {}: {e}", allow_file.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                Vec::new()
+            };
+            match run_check(&root, &allow) {
+                Ok(report) => {
+                    if json {
+                        print!("{}", to_json(&report));
+                    } else {
+                        print!("{}", render_human(&report));
+                    }
+                    if report.is_clean() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(1)
+                    }
+                }
+                Err(e) => {
+                    eprintln!("snacc-lint: scan failed: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

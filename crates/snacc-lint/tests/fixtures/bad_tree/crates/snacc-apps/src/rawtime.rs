@@ -1,0 +1,11 @@
+// Fixture: SL005 (raw picosecond math outside snacc-sim). Not compiled —
+// scanned by the lint integration tests.
+
+pub fn service_delay(rate: f64) -> u64 {
+    let delay_ps = (1e12 / rate) as u64;
+    delay_ps * 2
+}
+
+pub fn as_duration(t: u64) -> SimDuration {
+    SimDuration::from_ps(t)
+}

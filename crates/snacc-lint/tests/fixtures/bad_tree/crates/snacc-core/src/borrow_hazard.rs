@@ -1,0 +1,11 @@
+// Fixture: SL006 (RefCell guard live across Engine::schedule). Not
+// compiled — scanned by the lint integration tests.
+
+pub fn kick(rc: &Rc<RefCell<State>>, en: &mut Engine) {
+    let mut st = rc.borrow_mut();
+    st.pending += 1;
+    let rc2 = rc.clone();
+    en.schedule_at(st.free_at, move |en| {
+        rc2.borrow_mut().pending -= 1;
+    });
+}

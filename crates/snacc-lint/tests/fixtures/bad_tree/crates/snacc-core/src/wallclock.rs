@@ -1,0 +1,13 @@
+// Fixture: SL001 (wall-clock time) and SL003 (sync primitive) in a
+// simulation crate. Not compiled — scanned by the lint integration tests.
+
+use std::time::Instant;
+
+pub fn elapsed_since_boot() -> u64 {
+    let start = Instant::now();
+    start.elapsed().as_nanos() as u64
+}
+
+pub struct SharedCounter {
+    inner: std::sync::Mutex<u64>,
+}

@@ -1,0 +1,7 @@
+// Fixture: SL002 (unseeded randomness). Not compiled — scanned by the
+// lint integration tests.
+
+pub fn random_jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..100)
+}

@@ -1,0 +1,12 @@
+// Fixture: SL004 (panic path in a wire-decode module). Not compiled —
+// scanned by the lint integration tests. The path matters: SL004 only
+// applies to the named decode modules.
+
+pub fn decode_opcode(b: &[u8]) -> u8 {
+    *b.first().unwrap()
+}
+
+pub fn decode_qid(b: &[u8]) -> u16 {
+    assert!(b.len() >= 2, "short buffer");
+    u16::from_le_bytes([b[0], b[1]])
+}

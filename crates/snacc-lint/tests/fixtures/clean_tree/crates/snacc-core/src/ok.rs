@@ -1,0 +1,18 @@
+// Fixture: a clean simulation-crate file — no rule should fire. The
+// comment mentions Instant, thread_rng, Mutex and .unwrap( to prove the
+// sanitizer masks comments before matching.
+
+pub fn advance(now: SimTime, step: SimDuration) -> SimTime {
+    now + step
+}
+
+pub fn drain(rc: &Rc<RefCell<State>>, en: &mut Engine) {
+    let next = {
+        let st = rc.borrow();
+        st.next_deadline
+    };
+    let rc2 = rc.clone();
+    en.schedule_at(next, move |en| {
+        rc2.borrow_mut().fire(en);
+    });
+}

@@ -107,9 +107,7 @@ impl<T> AddressMap<T> {
                 "AddressMap overlap: {existing:?} vs {range:?}"
             );
         }
-        let pos = self
-            .entries
-            .partition_point(|(r, _)| r.base < range.base);
+        let pos = self.entries.partition_point(|(r, _)| r.base < range.base);
         self.entries.insert(pos, (range, target));
     }
 

@@ -46,16 +46,10 @@ pub struct UramModel {
 impl UramModel {
     /// Create a URAM buffer.
     pub fn new(name: &str, cfg: UramConfig) -> Self {
-        let read_port = SharedLink::new(
-            format!("{name}.rd"),
-            cfg.port_bandwidth,
-            cfg.access_latency,
-        );
-        let write_port = SharedLink::new(
-            format!("{name}.wr"),
-            cfg.port_bandwidth,
-            cfg.access_latency,
-        );
+        let read_port =
+            SharedLink::new(format!("{name}.rd"), cfg.port_bandwidth, cfg.access_latency);
+        let write_port =
+            SharedLink::new(format!("{name}.wr"), cfg.port_bandwidth, cfg.access_latency);
         UramModel {
             cfg,
             store: SparseMemory::new(),

@@ -5,7 +5,11 @@
 //! 0x8808, MAC control opcode 0x0001, a 16-bit pause-quanta field, and the
 //! reserved multicast destination 01-80-C2-00-00-01.
 
+use snacc_sim::SimDuration;
 use std::fmt;
+
+/// Wire header bytes preceding the payload (12 MAC + 2 EtherType).
+pub const WIRE_HEADER: usize = 14;
 
 /// EtherType for MAC control frames (PAUSE).
 pub const PAUSE_ETHERTYPE: u16 = 0x8808;
@@ -109,13 +113,67 @@ impl EthFrame {
     pub fn wire_bytes(&self) -> u64 {
         self.frame_bytes() + WIRE_OVERHEAD
     }
+
+    /// Serialize to wire bytes: dst(6) · src(6) · EtherType(2, BE) ·
+    /// payload. CRC, padding, preamble and IFG are modeled analytically
+    /// by [`EthFrame::frame_bytes`] / [`EthFrame::wire_bytes`], not
+    /// materialised.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(WIRE_HEADER + self.payload.len());
+        b.extend_from_slice(&self.dst.0);
+        b.extend_from_slice(&self.src.0);
+        b.extend_from_slice(&self.ethertype.to_be_bytes());
+        b.extend_from_slice(&self.payload);
+        b
+    }
+
+    /// Parse wire bytes. Total (SL004): every input either parses or
+    /// yields a [`FrameError`] — there is no panic path.
+    pub fn parse(b: &[u8]) -> Result<EthFrame, FrameError> {
+        if b.len() < WIRE_HEADER {
+            return Err(FrameError::ShortHeader(b.len()));
+        }
+        let payload_len = b.len() - WIRE_HEADER;
+        if payload_len > MAX_PAYLOAD {
+            return Err(FrameError::Oversize(payload_len));
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&b[0..6]);
+        src.copy_from_slice(&b[6..12]);
+        Ok(EthFrame {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype: u16::from_be_bytes([b[12], b[13]]),
+            payload: b[WIRE_HEADER..].to_vec(),
+        })
+    }
 }
 
-/// Duration of `quanta` pause quanta at `bits_per_sec` line rate, in
-/// picoseconds.
-pub fn pause_duration_ps(quanta: u16, bits_per_sec: f64) -> u64 {
+/// Frame parse errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the 14-byte MAC header.
+    ShortHeader(usize),
+    /// Payload longer than the jumbo MTU.
+    Oversize(usize),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::ShortHeader(n) => write!(f, "short frame: {n} bytes < 14-byte header"),
+            FrameError::Oversize(n) => write!(f, "payload of {n} bytes exceeds jumbo MTU"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Duration of `quanta` pause quanta at `bits_per_sec` line rate.
+pub fn pause_duration(quanta: u16, bits_per_sec: f64) -> SimDuration {
     let bits = quanta as u64 * PAUSE_QUANTUM_BITS;
-    (bits as f64 * 1e12 / bits_per_sec).round() as u64
+    SimDuration::from_ns_f64(bits as f64 * 1e9 / bits_per_sec)
 }
 
 #[cfg(test)]
@@ -166,10 +224,36 @@ mod tests {
     #[test]
     fn pause_duration_math() {
         // 100 Gbit/s: one quantum = 512 bits = 5.12 ns.
-        let ps = pause_duration_ps(1, 100e9);
-        assert_eq!(ps, 5120);
-        let ps = pause_duration_ps(0xffff, 100e9);
-        assert_eq!(ps, 65535 * 5120);
+        assert_eq!(pause_duration(1, 100e9).as_ps(), 5120);
+        assert_eq!(pause_duration(0xffff, 100e9).as_ps(), 65535 * 5120);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let f = EthFrame::data(
+            MacAddr::from_index(3),
+            MacAddr::from_index(9),
+            vec![7, 8, 9, 10],
+        );
+        let wire = f.to_wire();
+        assert_eq!(wire.len(), WIRE_HEADER + 4);
+        assert_eq!(EthFrame::parse(&wire), Ok(f));
+        let p = EthFrame::pause(MacAddr::from_index(1), 77);
+        assert_eq!(EthFrame::parse(&p.to_wire()), Ok(p));
+    }
+
+    #[test]
+    fn parse_rejects_short_and_oversize() {
+        assert_eq!(
+            EthFrame::parse(&[0u8; 13]),
+            Err(FrameError::ShortHeader(13))
+        );
+        assert_eq!(EthFrame::parse(&[]), Err(FrameError::ShortHeader(0)));
+        let too_big = vec![0u8; WIRE_HEADER + MAX_PAYLOAD + 1];
+        assert_eq!(
+            EthFrame::parse(&too_big),
+            Err(FrameError::Oversize(MAX_PAYLOAD + 1))
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! control traffic: they bypass the data queue (front insertion) and are
 //! never dropped for lack of TX budget.
 
-use crate::frame::{pause_duration_ps, EthFrame, MacAddr};
+use crate::frame::{pause_duration, EthFrame, MacAddr};
 use snacc_sim::{Bandwidth, Engine, SharedLink, SimDuration, SimRng, SimTime};
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -112,7 +112,12 @@ pub struct EthMac {
 
 impl EthMac {
     /// Create a MAC endpoint (connect with [`connect`]).
-    pub fn new(name: impl Into<String>, addr: MacAddr, cfg: MacConfig, seed: u64) -> Rc<RefCell<EthMac>> {
+    pub fn new(
+        name: impl Into<String>,
+        addr: MacAddr,
+        cfg: MacConfig,
+        seed: u64,
+    ) -> Rc<RefCell<EthMac>> {
         let name = name.into();
         let wire = SharedLink::new(format!("{name}.wire"), cfg.line_rate, cfg.wire_latency);
         Rc::new(RefCell::new(EthMac {
@@ -254,13 +259,10 @@ fn send_pause(rc: &Rc<RefCell<EthMac>>, en: &mut Engine, quanta: u16) {
         m.tx_queue.push_front(EthFrame::pause(src, quanta));
         m.stats.pauses_sent += 1;
         m.last_pause_sent = en.now();
-        let dur_ps = pause_duration_ps(
-            m.cfg.pause_quanta,
-            m.cfg.line_rate.bytes_per_sec() * 8.0,
-        );
+        let dur = pause_duration(m.cfg.pause_quanta, m.cfg.line_rate.bytes_per_sec() * 8.0);
         if quanta > 0 && !m.refresh_armed {
             m.refresh_armed = true;
-            Some(SimDuration::from_ps(dur_ps / 2))
+            Some(dur / 2)
         } else {
             None
         }
@@ -367,10 +369,7 @@ fn deliver(rc: &Rc<RefCell<EthMac>>, en: &mut Engine, frame: EthFrame) {
         if let Some(quanta) = frame.pause_quanta() {
             m.stats.pauses_received += 1;
             if m.cfg.flow_control {
-                let dur = SimDuration::from_ps(pause_duration_ps(
-                    quanta,
-                    m.cfg.line_rate.bytes_per_sec() * 8.0,
-                ));
+                let dur = pause_duration(quanta, m.cfg.line_rate.bytes_per_sec() * 8.0);
                 let new_until = en.now() + dur;
                 let shortened = new_until < m.paused_until;
                 m.paused_until = new_until;
@@ -396,11 +395,9 @@ fn deliver(rc: &Rc<RefCell<EthMac>>, en: &mut Engine, frame: EthFrame) {
                     // Assert (or refresh) the pause. Refresh is rate-limited
                     // to half the pause duration so a long-stalled sink
                     // cannot let the pause expire.
-                    let dur_ps = pause_duration_ps(
-                        m.cfg.pause_quanta,
-                        m.cfg.line_rate.bytes_per_sec() * 8.0,
-                    );
-                    let refresh_after = SimDuration::from_ps(dur_ps / 2);
+                    let refresh_after =
+                        pause_duration(m.cfg.pause_quanta, m.cfg.line_rate.bytes_per_sec() * 8.0)
+                            / 2;
                     let need = !m.congested || en.now() >= m.last_pause_sent + refresh_after;
                     if need {
                         m.congested = true;
@@ -449,7 +446,11 @@ mod tests {
     fn frame_delivery() {
         let mut en = Engine::new();
         let (a, b) = pair(MacConfig::eth_100g(), MacConfig::eth_100g());
-        let f = EthFrame::data(MacAddr::from_index(2), MacAddr::from_index(1), vec![9u8; 1000]);
+        let f = EthFrame::data(
+            MacAddr::from_index(2),
+            MacAddr::from_index(1),
+            vec![9u8; 1000],
+        );
         assert!(send(&a, &mut en, f.clone()));
         en.run();
         let got = pop_frame(&b, &mut en).expect("frame arrives");
@@ -463,7 +464,11 @@ mod tests {
         let (a, _b) = pair(MacConfig::eth_100g(), MacConfig::eth_100g());
         // 4096 B payload → 4114 frame + 20 overhead = 4134 wire bytes at
         // 12.5 GB/s ≈ 330.7 ns + 500 ns latency.
-        let f = EthFrame::data(MacAddr::from_index(2), MacAddr::from_index(1), vec![0; 4096]);
+        let f = EthFrame::data(
+            MacAddr::from_index(2),
+            MacAddr::from_index(1),
+            vec![0; 4096],
+        );
         send(&a, &mut en, f);
         let end = en.run();
         let ns = end.as_ns();
@@ -574,7 +579,11 @@ mod tests {
         let (a, _b) = pair(MacConfig::eth_100g(), MacConfig::eth_100g());
         let mut accepted = 0;
         loop {
-            let f = EthFrame::data(MacAddr::from_index(2), MacAddr::from_index(1), vec![0; 8000]);
+            let f = EthFrame::data(
+                MacAddr::from_index(2),
+                MacAddr::from_index(1),
+                vec![0; 8000],
+            );
             if !send(&a, &mut en, f) {
                 break;
             }

@@ -52,9 +52,11 @@ impl EthSwitch {
         // retry all ingress ports whenever TX space frees up.
         for (i, p) in ports.iter().enumerate() {
             let c1 = core.clone();
-            p.borrow_mut().set_rx_hook(move |en| forward_port(&c1, en, i));
+            p.borrow_mut()
+                .set_rx_hook(move |en| forward_port(&c1, en, i));
             let c2 = core.clone();
-            p.borrow_mut().set_tx_space_hook(move |en| forward_all(&c2, en));
+            p.borrow_mut()
+                .set_tx_space_hook(move |en| forward_all(&c2, en));
         }
         EthSwitch { core }
     }
@@ -119,7 +121,9 @@ fn forward_port(core: &Rc<RefCell<SwitchCore>>, en: &mut Engine, i: usize) {
             .expect("frame still queued") as usize;
         let all_fit = {
             let c = core.borrow();
-            egress.iter().all(|&p| c.ports[p].borrow().tx_has_space(len))
+            egress
+                .iter()
+                .all(|&p| c.ports[p].borrow().tx_has_space(len))
         };
         if !all_fit {
             return;
@@ -172,7 +176,11 @@ mod tests {
         let b = endpoint("b", 2, MacConfig::eth_100g());
         mac::connect(&a, &sw.port(0));
         mac::connect(&b, &sw.port(1));
-        let f = EthFrame::data(MacAddr::from_index(2), MacAddr::from_index(1), vec![5; 2000]);
+        let f = EthFrame::data(
+            MacAddr::from_index(2),
+            MacAddr::from_index(1),
+            vec![5; 2000],
+        );
         mac::send(&a, &mut en, f.clone());
         en.run();
         let got = mac::pop_frame(&b, &mut en).expect("delivered through switch");

@@ -108,10 +108,7 @@ pub struct RateSink {
 
 impl RateSink {
     /// Attach a sink to `mac`.
-    pub fn attach(
-        mac_rc: Rc<RefCell<EthMac>>,
-        rate: Option<Bandwidth>,
-    ) -> Rc<RefCell<RateSink>> {
+    pub fn attach(mac_rc: Rc<RefCell<EthMac>>, rate: Option<Bandwidth>) -> Rc<RefCell<RateSink>> {
         let s = Rc::new(RefCell::new(RateSink {
             mac: mac_rc.clone(),
             rate,
@@ -188,7 +185,13 @@ mod tests {
     fn pattern_is_deterministic() {
         assert_eq!(pattern_byte(12345), pattern_byte(12345));
         // Not constant.
-        assert!((0..100).map(pattern_byte).collect::<std::collections::HashSet<_>>().len() > 10);
+        assert!(
+            (0..100)
+                .map(pattern_byte)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                > 10
+        );
     }
 
     #[test]

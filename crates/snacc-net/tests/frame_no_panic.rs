@@ -1,0 +1,42 @@
+//! SL004's contract, tested: Ethernet frame parsing is total. Arbitrary
+//! byte buffers — fuzzed lengths and contents — must parse to `Ok` or
+//! `Err`, never panic.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use snacc_net::frame::{EthFrame, MacAddr, MAX_PAYLOAD, WIRE_HEADER};
+
+proptest! {
+    #[test]
+    fn parse_never_panics(bytes in vec(any::<u8>(), 0..=9100)) {
+        // Totality is the property: any outcome is fine, panicking is not.
+        let _ = EthFrame::parse(&bytes);
+    }
+
+    #[test]
+    fn parse_is_exhaustive_over_length(
+        header in any::<[u8; 14]>(),
+        payload in vec(any::<u8>(), 0..=64),
+    ) {
+        let mut wire = header.to_vec();
+        wire.extend_from_slice(&payload);
+        prop_assert!(EthFrame::parse(&wire).is_ok());
+    }
+
+    #[test]
+    fn wire_roundtrip_holds(
+        dst in any::<u64>(),
+        src in any::<u64>(),
+        payload in vec(any::<u8>(), 0..=256),
+    ) {
+        let f = EthFrame::data(MacAddr::from_index(dst), MacAddr::from_index(src), payload);
+        prop_assert_eq!(EthFrame::parse(&f.to_wire()), Ok(f));
+    }
+
+    #[test]
+    fn short_and_oversize_are_errors(short_len in 0usize..14, extra in 1usize..32) {
+        prop_assert!(EthFrame::parse(&vec![0u8; short_len]).is_err());
+        let oversize = vec![0u8; WIRE_HEADER + MAX_PAYLOAD + extra];
+        prop_assert!(EthFrame::parse(&oversize).is_err());
+    }
+}

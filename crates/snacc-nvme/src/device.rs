@@ -159,7 +159,7 @@ impl NvmeDevice {
         d[8..16].copy_from_slice(&nsze.to_le_bytes()); // NCAP
         d[16..24].copy_from_slice(&nsze.to_le_bytes()); // NUSE
         d[26] = 0; // FLBAS: format 0
-        // LBAF0: LBADS = 9 (512 B blocks).
+                   // LBAF0: LBADS = 9 (512 B blocks).
         let lbaf0: u32 = 9 << 16;
         d[128..132].copy_from_slice(&lbaf0.to_le_bytes());
         d
@@ -209,8 +209,8 @@ impl MmioTarget for NvmeBar0 {
         let bytes = value.to_le_bytes();
         let n = out.len().min(8);
         out[..n].copy_from_slice(&bytes[..n]);
-        let lat = d.profile.reg_latency;
-        lat
+
+        d.profile.reg_latency
     }
 
     fn write(
@@ -225,6 +225,10 @@ impl MmioTarget for NvmeBar0 {
         buf[..n].copy_from_slice(&data[..n]);
         let v64 = u64::from_le_bytes(buf);
         let v32 = v64 as u32;
+        // Doorbell side effects are scheduled only after the device borrow
+        // is released (SL006): the scheduled closures re-borrow `self.dev`.
+        let mut pump_q: Option<u16> = None;
+        let mut flush_q: Option<u16> = None;
         let mut d = self.dev.borrow_mut();
         let lat = d.profile.reg_latency;
         match offset {
@@ -252,15 +256,12 @@ impl MmioTarget for NvmeBar0 {
                 d.doorbell_writes.inc();
                 let idx = (o - spec::regs::DOORBELL_BASE) / spec::regs::DOORBELL_STRIDE;
                 let qid = (idx / 2) as u16;
-                if idx % 2 == 0 {
+                if idx.is_multiple_of(2) {
                     // SQ tail doorbell: takes effect when the posted write
                     // reaches the controller.
                     if let Some(q) = d.queues.get_mut(&qid) {
                         q.sq_tail = (v32 as u16) % q.sq_entries;
-                        let rc = self.dev.clone();
-                        en.schedule_at(arrival.max(en.now()), move |en| {
-                            pump_queue(rc, en, qid)
-                        });
+                        pump_q = Some(qid);
                     }
                 } else {
                     // CQ head doorbell: consumer progress frees CQ slots;
@@ -280,15 +281,23 @@ impl MmioTarget for NvmeBar0 {
                         q.cq_head_shadow = new_head;
                         q.cq_outstanding = q.cq_outstanding.saturating_sub(delta);
                         if !q.pending_cqes.is_empty() {
-                            let rc = self.dev.clone();
-                            en.schedule_at(arrival.max(en.now()), move |en| {
-                                flush_pending_cqes(&rc, en, qid);
-                            });
+                            flush_q = Some(qid);
                         }
                     }
                 }
             }
             _ => {}
+        }
+        drop(d);
+        if let Some(qid) = pump_q {
+            let rc = self.dev.clone();
+            en.schedule_at(arrival.max(en.now()), move |en| pump_queue(rc, en, qid));
+        }
+        if let Some(qid) = flush_q {
+            let rc = self.dev.clone();
+            en.schedule_at(arrival.max(en.now()), move |en| {
+                flush_pending_cqes(&rc, en, qid);
+            });
         }
         lat
     }
@@ -416,8 +425,11 @@ fn pump_queue(rc: Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16) {
             let rc2 = rc.clone();
             en.schedule_at(t, move |en| {
                 for i in 0..count as usize {
-                    let sqe = Sqe::decode(&buf[i * 64..(i + 1) * 64]);
-                    exec_command(&rc2, en, qid, sqe);
+                    // Slices are exactly 64 bytes, so decode cannot fail;
+                    // a malformed fetch is dropped, never a panic.
+                    if let Ok(sqe) = Sqe::decode(&buf[i * 64..(i + 1) * 64]) {
+                        exec_command(&rc2, en, qid, sqe);
+                    }
                 }
                 {
                     let mut d = rc2.borrow_mut();
@@ -869,12 +881,8 @@ mod tests {
             let t = Rc::new(RefCell::new(HostMemTarget::new(hostmem.clone(), 0)));
             fabric.map_region(HOST_NODE, AddrRange::new(0, 2 << 30), t);
             let fabric = Rc::new(RefCell::new(fabric));
-            let dev = NvmeDeviceHandle::attach(
-                fabric.clone(),
-                BAR0,
-                NvmeProfile::samsung_990pro(),
-                7,
-            );
+            let dev =
+                NvmeDeviceHandle::attach(fabric.clone(), BAR0, NvmeProfile::samsung_990pro(), 7);
             TestRig {
                 en: Engine::new(),
                 fabric,
@@ -927,7 +935,7 @@ mod tests {
                 .borrow_mut()
                 .store_mut()
                 .read_vec(self.acq + slot as u64 * 16, 16);
-            Cqe::decode(&raw)
+            Cqe::decode(&raw).expect("CQE decodes")
         }
 
         fn create_io_queues(&mut self, qid: u16, sq: u64, cq: u64, entries: u16) {
@@ -963,7 +971,9 @@ mod tests {
         assert!(cqe.phase);
         let data = r.hostmem.borrow_mut().store_mut().read_vec(0x20_0000, 64);
         assert_eq!(&data[0..2], &0x144du16.to_le_bytes());
-        assert!(std::str::from_utf8(&data[24..44]).unwrap().contains("990 PRO"));
+        assert!(std::str::from_utf8(&data[24..44])
+            .unwrap()
+            .contains("990 PRO"));
     }
 
     #[test]
@@ -997,19 +1007,29 @@ mod tests {
 
         // Write 8 KiB at LBA 1000 from a host buffer.
         let payload: Vec<u8> = (0..8192u32).map(|i| (i * 7) as u8).collect();
-        r.hostmem.borrow_mut().store_mut().write(0x40_0000, &payload);
+        r.hostmem
+            .borrow_mut()
+            .store_mut()
+            .write(0x40_0000, &payload);
         let mut w = Sqe::io(IoOpcode::Write, 1, 1000, 15); // 16 blocks
         w.prp1 = 0x40_0000;
         w.prp2 = 0x40_1000;
-        r.hostmem.borrow_mut().store_mut().write(0x30_0000, &w.encode());
+        r.hostmem
+            .borrow_mut()
+            .store_mut()
+            .write(0x30_0000, &w.encode());
         r.fabric
             .borrow_mut()
-            .write_u32(&mut r.en, HOST_NODE, BAR0 + spec::regs::sq_tail_doorbell(1), 1)
+            .write_u32(
+                &mut r.en,
+                HOST_NODE,
+                BAR0 + spec::regs::sq_tail_doorbell(1),
+                1,
+            )
             .unwrap();
         r.en.run();
-        let cqe = Cqe::decode(
-            &r.hostmem.borrow_mut().store_mut().read_vec(0x31_0000, 16),
-        );
+        let cqe = Cqe::decode(&r.hostmem.borrow_mut().store_mut().read_vec(0x31_0000, 16))
+            .expect("CQE decodes");
         assert_eq!(cqe.status, Status::Success);
         assert_eq!(cqe.sq_id, 1);
 
@@ -1017,15 +1037,27 @@ mod tests {
         let mut rd = Sqe::io(IoOpcode::Read, 2, 1000, 15);
         rd.prp1 = 0x50_0000;
         rd.prp2 = 0x50_1000;
-        r.hostmem.borrow_mut().store_mut().write(0x30_0000 + 64, &rd.encode());
+        r.hostmem
+            .borrow_mut()
+            .store_mut()
+            .write(0x30_0000 + 64, &rd.encode());
         r.fabric
             .borrow_mut()
-            .write_u32(&mut r.en, HOST_NODE, BAR0 + spec::regs::sq_tail_doorbell(1), 2)
+            .write_u32(
+                &mut r.en,
+                HOST_NODE,
+                BAR0 + spec::regs::sq_tail_doorbell(1),
+                2,
+            )
             .unwrap();
         r.en.run();
         let cqe2 = Cqe::decode(
-            &r.hostmem.borrow_mut().store_mut().read_vec(0x31_0000 + 16, 16),
-        );
+            &r.hostmem
+                .borrow_mut()
+                .store_mut()
+                .read_vec(0x31_0000 + 16, 16),
+        )
+        .expect("CQE decodes");
         assert_eq!(cqe2.status, Status::Success);
         let got = r.hostmem.borrow_mut().store_mut().read_vec(0x50_0000, 8192);
         assert_eq!(got, payload);
@@ -1043,15 +1075,22 @@ mod tests {
         let cap_lbas = 2_000_000_000_000 / 512;
         let mut w = Sqe::io(IoOpcode::Write, 5, cap_lbas, 0);
         w.prp1 = 0x40_0000;
-        r.hostmem.borrow_mut().store_mut().write(0x30_0000, &w.encode());
+        r.hostmem
+            .borrow_mut()
+            .store_mut()
+            .write(0x30_0000, &w.encode());
         r.fabric
             .borrow_mut()
-            .write_u32(&mut r.en, HOST_NODE, BAR0 + spec::regs::sq_tail_doorbell(1), 1)
+            .write_u32(
+                &mut r.en,
+                HOST_NODE,
+                BAR0 + spec::regs::sq_tail_doorbell(1),
+                1,
+            )
             .unwrap();
         r.en.run();
-        let cqe = Cqe::decode(
-            &r.hostmem.borrow_mut().store_mut().read_vec(0x31_0000, 16),
-        );
+        let cqe = Cqe::decode(&r.hostmem.borrow_mut().store_mut().read_vec(0x31_0000, 16))
+            .expect("CQE decodes");
         assert_eq!(cqe.status, Status::LbaOutOfRange);
     }
 
@@ -1061,15 +1100,22 @@ mod tests {
         r.enable();
         r.create_io_queues(1, 0x30_0000, 0x31_0000, 64);
         let f = Sqe::io(IoOpcode::Flush, 7, 0, 0);
-        r.hostmem.borrow_mut().store_mut().write(0x30_0000, &f.encode());
+        r.hostmem
+            .borrow_mut()
+            .store_mut()
+            .write(0x30_0000, &f.encode());
         r.fabric
             .borrow_mut()
-            .write_u32(&mut r.en, HOST_NODE, BAR0 + spec::regs::sq_tail_doorbell(1), 1)
+            .write_u32(
+                &mut r.en,
+                HOST_NODE,
+                BAR0 + spec::regs::sq_tail_doorbell(1),
+                1,
+            )
             .unwrap();
         r.en.run();
-        let cqe = Cqe::decode(
-            &r.hostmem.borrow_mut().store_mut().read_vec(0x31_0000, 16),
-        );
+        let cqe = Cqe::decode(&r.hostmem.borrow_mut().store_mut().read_vec(0x31_0000, 16))
+            .expect("CQE decodes");
         assert_eq!(cqe.status, Status::Success);
     }
 
@@ -1082,10 +1128,18 @@ mod tests {
         let start = r.en.now();
         let mut w = Sqe::io(IoOpcode::Write, 1, 0, 7); // 4 KiB
         w.prp1 = 0x40_0000;
-        r.hostmem.borrow_mut().store_mut().write(0x30_0000, &w.encode());
+        r.hostmem
+            .borrow_mut()
+            .store_mut()
+            .write(0x30_0000, &w.encode());
         r.fabric
             .borrow_mut()
-            .write_u32(&mut r.en, HOST_NODE, BAR0 + spec::regs::sq_tail_doorbell(1), 1)
+            .write_u32(
+                &mut r.en,
+                HOST_NODE,
+                BAR0 + spec::regs::sq_tail_doorbell(1),
+                1,
+            )
             .unwrap();
         let end = r.en.run();
         let us = end.since(start).as_us_f64();
@@ -1101,10 +1155,18 @@ mod tests {
         let start = r.en.now();
         let mut rd = Sqe::io(IoOpcode::Read, 1, 5000, 7);
         rd.prp1 = 0x40_0000;
-        r.hostmem.borrow_mut().store_mut().write(0x30_0000, &rd.encode());
+        r.hostmem
+            .borrow_mut()
+            .store_mut()
+            .write(0x30_0000, &rd.encode());
         r.fabric
             .borrow_mut()
-            .write_u32(&mut r.en, HOST_NODE, BAR0 + spec::regs::sq_tail_doorbell(1), 1)
+            .write_u32(
+                &mut r.en,
+                HOST_NODE,
+                BAR0 + spec::regs::sq_tail_doorbell(1),
+                1,
+            )
             .unwrap();
         let end = r.en.run();
         let us = end.since(start).as_us_f64();
@@ -1125,10 +1187,18 @@ mod tests {
         let start = r.en.now();
         let mut rd = Sqe::io(IoOpcode::Read, 1, 5000, 7);
         rd.prp1 = 0x40_0000;
-        r.hostmem.borrow_mut().store_mut().write(0x30_0000, &rd.encode());
+        r.hostmem
+            .borrow_mut()
+            .store_mut()
+            .write(0x30_0000, &rd.encode());
         r.fabric
             .borrow_mut()
-            .write_u32(&mut r.en, HOST_NODE, BAR0 + spec::regs::sq_tail_doorbell(1), 1)
+            .write_u32(
+                &mut r.en,
+                HOST_NODE,
+                BAR0 + spec::regs::sq_tail_doorbell(1),
+                1,
+            )
             .unwrap();
         let end = r.en.run();
         let us = end.since(start).as_us_f64();

@@ -232,8 +232,7 @@ impl NandBackend {
     pub fn is_warm(&self, addr: u64) -> bool {
         match self.warm_blocks.get(&(addr / Self::WARM_BLOCK)) {
             Some(&seq) => {
-                self.write_seq.saturating_sub(seq) * Self::WARM_BLOCK
-                    <= self.cfg.pslc_window_bytes
+                self.write_seq.saturating_sub(seq) * Self::WARM_BLOCK <= self.cfg.pslc_window_bytes
             }
             None => false,
         }
@@ -250,24 +249,21 @@ impl NandBackend {
 
     fn tr_jitter(&mut self, warm: bool) -> SimDuration {
         let (lo, hi) = if warm {
-            (
-                self.cfg.read_latency_min.as_ps(),
-                self.cfg.read_latency_max.as_ps(),
-            )
+            (self.cfg.read_latency_min, self.cfg.read_latency_max)
         } else {
             (
-                self.cfg.read_latency_cold_min.as_ps(),
-                self.cfg.read_latency_cold_max.as_ps(),
+                self.cfg.read_latency_cold_min,
+                self.cfg.read_latency_cold_max,
             )
         };
-        let base = self.rng.gen_between(lo, hi + 1);
+        let base = self.rng.gen_duration_between(lo, hi);
         // Occasional long tail: the read collides with a program/erase
         // the die cannot suspend. These tails are what in-order
         // retirement amplifies into the paper's Fig 4b deficit.
         if self.rng.gen_bool(0.03) {
-            SimDuration::from_ps(base * 4)
+            base * 4
         } else {
-            SimDuration::from_ps(base)
+            base
         }
     }
 

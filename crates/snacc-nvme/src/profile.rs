@@ -119,8 +119,7 @@ mod tests {
         let g4 = NvmeProfile::samsung_990pro();
         let g5 = NvmeProfile::gen5_projection();
         assert!(
-            g5.nand.channel_bandwidth.as_gb_per_s()
-                > 1.5 * g4.nand.channel_bandwidth.as_gb_per_s()
+            g5.nand.channel_bandwidth.as_gb_per_s() > 1.5 * g4.nand.channel_bandwidth.as_gb_per_s()
         );
         assert!(g5.link.bandwidth().as_gb_per_s() > 1.9 * g4.link.bandwidth().as_gb_per_s());
     }

@@ -36,6 +36,22 @@ pub enum PrpError {
     NullEntry,
     /// Zero-length command.
     EmptyTransfer,
+    /// The chained PRP list exceeded the hop budget implied by the
+    /// transfer length — a cyclic or runaway chain. Without this bound a
+    /// self-referencing chain entry would walk forever.
+    ChainTooLong,
+}
+
+/// Total little-endian u64 read; bytes beyond the page read as zero.
+/// The walker only reads in-bounds offsets (idx < 512 over a 4096-byte
+/// page), so the zero fill exists purely to keep the read panic-free
+/// (SL004).
+fn le_u64(page: &[u8], off: usize) -> u64 {
+    let mut v = 0u64;
+    for i in 0..8 {
+        v |= (page.get(off + i).copied().unwrap_or(0) as u64) << (8 * i);
+    }
+    v
 }
 
 /// Resolve the data-buffer layout of a command.
@@ -70,7 +86,7 @@ pub fn walk_prps(
         if prp2 == 0 {
             return Err(PrpError::NullEntry);
         }
-        if prp2 % NVME_PAGE != 0 {
+        if !prp2.is_multiple_of(NVME_PAGE) {
             return Err(PrpError::Misaligned(prp2));
         }
         segs.push(PrpSeg {
@@ -86,17 +102,27 @@ pub fn walk_prps(
     }
     // List pointers may carry an offset into the list page per spec; we
     // require entry alignment (8 B).
-    if prp2 % 8 != 0 {
+    if !prp2.is_multiple_of(8) {
         return Err(PrpError::Misaligned(prp2));
     }
     let mut list_addr = prp2;
+    // Hop budget: a well-formed chain advances ≥ ENTRIES_PER_LIST - 1
+    // data entries per full list page; anything beyond this is a cycle.
+    let max_hops = snacc_sim::ceil_div(
+        snacc_sim::ceil_div(byte_len, NVME_PAGE),
+        (ENTRIES_PER_LIST - 1) as u64,
+    ) + 2;
+    let mut hops = 0u64;
     'outer: loop {
+        hops += 1;
+        if hops > max_hops {
+            return Err(PrpError::ChainTooLong);
+        }
         let page_base = list_addr / NVME_PAGE * NVME_PAGE;
         let start_idx = ((list_addr % NVME_PAGE) / 8) as usize;
         let page = read_list_page(page_base);
         for idx in start_idx..ENTRIES_PER_LIST {
-            let off = idx * 8;
-            let entry = u64::from_le_bytes(page[off..off + 8].try_into().unwrap());
+            let entry = le_u64(&page, idx * 8);
             let pages_left = snacc_sim::ceil_div(remaining, NVME_PAGE);
             // If more pages remain than entries in this list, the last
             // entry chains to the next list page.
@@ -104,7 +130,7 @@ pub fn walk_prps(
                 if entry == 0 {
                     return Err(PrpError::NullEntry);
                 }
-                if entry % 8 != 0 {
+                if !entry.is_multiple_of(8) {
                     return Err(PrpError::Misaligned(entry));
                 }
                 list_addr = entry;
@@ -113,7 +139,7 @@ pub fn walk_prps(
             if entry == 0 {
                 return Err(PrpError::NullEntry);
             }
-            if entry % NVME_PAGE != 0 {
+            if !entry.is_multiple_of(NVME_PAGE) {
                 return Err(PrpError::Misaligned(entry));
             }
             let take = remaining.min(NVME_PAGE);
@@ -238,15 +264,33 @@ mod tests {
     fn offset_first_page() {
         // PRP1 with an offset: first segment is the page remainder.
         let segs = walk_prps(0x1100, 0x2000, 4096, |_| unreachable!()).unwrap();
-        assert_eq!(segs[0], PrpSeg { addr: 0x1100, len: 0xf00 });
-        assert_eq!(segs[1], PrpSeg { addr: 0x2000, len: 4096 - 0xf00 });
+        assert_eq!(
+            segs[0],
+            PrpSeg {
+                addr: 0x1100,
+                len: 0xf00
+            }
+        );
+        assert_eq!(
+            segs[1],
+            PrpSeg {
+                addr: 0x2000,
+                len: 4096 - 0xf00
+            }
+        );
     }
 
     #[test]
     fn two_pages_uses_prp2_directly() {
         let segs = walk_prps(0x1000, 0x8000, 8192, |_| unreachable!()).unwrap();
         assert_eq!(segs.len(), 2);
-        assert_eq!(segs[1], PrpSeg { addr: 0x8000, len: 4096 });
+        assert_eq!(
+            segs[1],
+            PrpSeg {
+                addr: 0x8000,
+                len: 4096
+            }
+        );
     }
 
     #[test]
@@ -298,6 +342,18 @@ mod tests {
             walk_prps(0x1000, 0, 0, |_| unreachable!()),
             Err(PrpError::EmptyTransfer)
         );
+    }
+
+    #[test]
+    fn cyclic_chain_rejected() {
+        // A chain entry pointing back at itself (start offset 511*8 means
+        // the only entry in scope is the chain pointer) must terminate
+        // with ChainTooLong, not walk forever.
+        let mut mem = SparseMemory::new();
+        let self_ref: u64 = 0xD000 + 511 * 8;
+        mem.write(self_ref, &self_ref.to_le_bytes());
+        let r = walk_prps(0x1000, self_ref, 4 * 4096, mem_reader(&mut mem));
+        assert_eq!(r, Err(PrpError::ChainTooLong));
     }
 
     #[test]

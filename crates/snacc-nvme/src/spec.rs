@@ -6,6 +6,8 @@
 //! so encode/decode must round-trip — the property tests at the bottom
 //! pin that down.
 
+use std::fmt;
+
 /// Size of a submission queue entry in bytes.
 pub const SQE_BYTES: u64 = 64;
 /// Size of a completion queue entry in bytes.
@@ -88,6 +90,45 @@ impl Status {
             _ => Status::InvalidField,
         }
     }
+}
+
+/// Wire-decode failure for the fixed-size NVMe structures.
+///
+/// Decoding is total (SL004): any byte slice either decodes or yields
+/// this error — there is no panic path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer shorter than the structure's wire size.
+    Short {
+        /// Bytes the structure needs.
+        needed: usize,
+        /// Bytes the caller provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Short { needed, got } => {
+                write!(f, "short wire buffer: need {needed} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Little-endian field read of `len <= 8` bytes at `off`; bytes beyond
+/// the buffer read as zero. Decoders length-check up front, so in-range
+/// reads are exact — the zero fill only exists to keep the helper total
+/// (no indexing, no panic path).
+fn le_field(b: &[u8], off: usize, len: usize) -> u64 {
+    let mut v = 0u64;
+    for i in 0..len.min(8) {
+        v |= (b.get(off + i).copied().unwrap_or(0) as u64) << (8 * i);
+    }
+    v
 }
 
 /// Controller register offsets within BAR0 (NVMe 1.4, Figure 78).
@@ -200,23 +241,28 @@ impl Sqe {
         b
     }
 
-    /// Decode from the 64-byte wire format.
-    pub fn decode(b: &[u8]) -> Sqe {
-        assert!(b.len() >= 64, "short SQE");
-        let dw0 = u32::from_le_bytes(b[0..4].try_into().unwrap());
+    /// Decode from the 64-byte wire format. Total: short buffers yield
+    /// [`WireError::Short`], never a panic (SL004).
+    pub fn decode(b: &[u8]) -> Result<Sqe, WireError> {
+        if b.len() < SQE_BYTES as usize {
+            return Err(WireError::Short {
+                needed: SQE_BYTES as usize,
+                got: b.len(),
+            });
+        }
+        let dw0 = le_field(b, 0, 4) as u32;
         let mut cdw = [0u32; 6];
         for (i, dw) in cdw.iter_mut().enumerate() {
-            let o = 40 + i * 4;
-            *dw = u32::from_le_bytes(b[o..o + 4].try_into().unwrap());
+            *dw = le_field(b, 40 + i * 4, 4) as u32;
         }
-        Sqe {
+        Ok(Sqe {
             opcode: (dw0 & 0xFF) as u8,
             cid: (dw0 >> 16) as u16,
-            nsid: u32::from_le_bytes(b[4..8].try_into().unwrap()),
-            prp1: u64::from_le_bytes(b[24..32].try_into().unwrap()),
-            prp2: u64::from_le_bytes(b[32..40].try_into().unwrap()),
+            nsid: le_field(b, 4, 4) as u32,
+            prp1: le_field(b, 24, 8),
+            prp2: le_field(b, 32, 8),
             cdw,
-        }
+        })
     }
 }
 
@@ -253,18 +299,24 @@ impl Cqe {
         b
     }
 
-    /// Decode from the 16-byte wire format.
-    pub fn decode(b: &[u8]) -> Cqe {
-        assert!(b.len() >= 16, "short CQE");
-        let sf = u16::from_le_bytes(b[14..16].try_into().unwrap());
-        Cqe {
-            result: u32::from_le_bytes(b[0..4].try_into().unwrap()),
-            sq_head: u16::from_le_bytes(b[8..10].try_into().unwrap()),
-            sq_id: u16::from_le_bytes(b[10..12].try_into().unwrap()),
-            cid: u16::from_le_bytes(b[12..14].try_into().unwrap()),
+    /// Decode from the 16-byte wire format. Total: short buffers yield
+    /// [`WireError::Short`], never a panic (SL004).
+    pub fn decode(b: &[u8]) -> Result<Cqe, WireError> {
+        if b.len() < CQE_BYTES as usize {
+            return Err(WireError::Short {
+                needed: CQE_BYTES as usize,
+                got: b.len(),
+            });
+        }
+        let sf = le_field(b, 14, 2) as u16;
+        Ok(Cqe {
+            result: le_field(b, 0, 4) as u32,
+            sq_head: le_field(b, 8, 2) as u16,
+            sq_id: le_field(b, 10, 2) as u16,
+            cid: le_field(b, 12, 2) as u16,
             phase: (sf & 1) != 0,
             status: Status::from_u16(sf >> 1),
-        }
+        })
     }
 }
 
@@ -288,9 +340,9 @@ mod tests {
     #[test]
     fn sqe_roundtrip_basic() {
         let mut s = Sqe::io(IoOpcode::Write, 42, 0x1_2345_6789, 255);
-        s.prp1 = 0xdead_beef_000;
+        s.prp1 = 0x0dea_dbee_f000;
         s.prp2 = 0xcafe_0000;
-        let d = Sqe::decode(&s.encode());
+        let d = Sqe::decode(&s.encode()).expect("full buffer decodes");
         assert_eq!(d, s);
         assert_eq!(d.slba(), 0x1_2345_6789);
         assert_eq!(d.nlb(), 256);
@@ -307,7 +359,27 @@ mod tests {
             phase: true,
             status: Status::LbaOutOfRange,
         };
-        assert_eq!(Cqe::decode(&c.encode()), c);
+        assert_eq!(Cqe::decode(&c.encode()), Ok(c));
+    }
+
+    #[test]
+    fn short_buffers_are_errors_not_panics() {
+        assert_eq!(
+            Sqe::decode(&[0u8; 63]),
+            Err(WireError::Short {
+                needed: 64,
+                got: 63
+            })
+        );
+        assert_eq!(
+            Cqe::decode(&[0u8; 15]),
+            Err(WireError::Short {
+                needed: 16,
+                got: 15
+            })
+        );
+        assert!(Sqe::decode(&[]).is_err());
+        assert!(Cqe::decode(&[]).is_err());
     }
 
     #[test]
@@ -350,7 +422,7 @@ mod tests {
             cdw in any::<[u32; 6]>(),
         ) {
             let s = Sqe { opcode, cid, nsid, prp1, prp2, cdw };
-            prop_assert_eq!(Sqe::decode(&s.encode()), s);
+            prop_assert_eq!(Sqe::decode(&s.encode()), Ok(s));
         }
 
         #[test]
@@ -362,14 +434,17 @@ mod tests {
             phase in any::<bool>(),
         ) {
             let c = Cqe { result, sq_head, sq_id, cid, phase, status: Status::Success };
-            prop_assert_eq!(Cqe::decode(&c.encode()), c);
+            prop_assert_eq!(Cqe::decode(&c.encode()), Ok(c));
         }
 
         #[test]
         fn slba_nlb_encoding_prop(slba in any::<u64>(), nlb0 in any::<u16>()) {
             let s = Sqe::io(IoOpcode::Read, 1, slba, nlb0);
-            let d = Sqe::decode(&s.encode());
-            prop_assert_eq!(d.slba(), slba & 0xFFFF_FFFF_FFFF_FFFF);
+            let d = match Sqe::decode(&s.encode()) {
+                Ok(d) => d,
+                Err(e) => return Err(TestCaseError(format!("decode failed: {e}"))),
+            };
+            prop_assert_eq!(d.slba(), slba);
             prop_assert_eq!(d.nlb(), nlb0 as u64 + 1);
         }
     }

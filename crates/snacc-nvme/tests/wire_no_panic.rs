@@ -1,0 +1,38 @@
+//! SL004's contract, tested: NVMe wire decoding is total. Arbitrary
+//! byte buffers — fuzzed lengths and contents — must decode to `Ok` or
+//! `Err`, never panic.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use snacc_nvme::spec::{Cqe, Sqe};
+
+proptest! {
+    #[test]
+    fn sqe_decode_never_panics(bytes in vec(any::<u8>(), 0..=130)) {
+        // Totality is the property: any outcome is fine, panicking is not.
+        let _ = Sqe::decode(&bytes);
+    }
+
+    #[test]
+    fn cqe_decode_never_panics(bytes in vec(any::<u8>(), 0..=40)) {
+        let _ = Cqe::decode(&bytes);
+    }
+
+    #[test]
+    fn full_size_buffers_always_decode(
+        sqe_buf in any::<[u8; 64]>(),
+        cqe_buf in any::<[u8; 16]>(),
+    ) {
+        prop_assert!(Sqe::decode(&sqe_buf).is_ok());
+        prop_assert!(Cqe::decode(&cqe_buf).is_ok());
+    }
+
+    #[test]
+    fn short_buffers_are_errors(n in 0usize..64) {
+        let buf = vec![0xA5u8; n];
+        prop_assert!(Sqe::decode(&buf).is_err());
+        if n < 16 {
+            prop_assert!(Cqe::decode(&buf).is_err());
+        }
+    }
+}

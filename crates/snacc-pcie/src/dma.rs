@@ -69,7 +69,13 @@ impl DmaEngine {
                 let freed = slots.pop_front().expect("window non-empty");
                 t_issue = t_issue.max(freed);
             }
-            let done = fab.read_at(en, t_issue, requester, addr + off as u64, &mut out[off..off + n])?;
+            let done = fab.read_at(
+                en,
+                t_issue,
+                requester,
+                addr + off as u64,
+                &mut out[off..off + n],
+            )?;
             slots.push_back(done);
             last = last.max(done);
             off += n;
@@ -99,7 +105,13 @@ impl DmaEngine {
                 let freed = slots.pop_front().expect("window non-empty");
                 t_issue = t_issue.max(freed);
             }
-            let done = fab.write_at(en, t_issue, requester, addr + off as u64, &data[off..off + n])?;
+            let done = fab.write_at(
+                en,
+                t_issue,
+                requester,
+                addr + off as u64,
+                &data[off..off + n],
+            )?;
             slots.push_back(done);
             last = last.max(done);
             off += n;
@@ -182,9 +194,11 @@ mod tests {
         let (mut en, mut fab, _) = setup(50);
         let dma = DmaEngine::new(DmaConfig::tapasco_host());
         let data = vec![0x5au8; 32 << 10];
-        dma.write(&mut en, &mut fab, HOST_NODE, 4096, &data).unwrap();
+        dma.write(&mut en, &mut fab, HOST_NODE, 4096, &data)
+            .unwrap();
         let mut back = vec![0u8; 32 << 10];
-        dma.read(&mut en, &mut fab, HOST_NODE, 4096, &mut back).unwrap();
+        dma.read(&mut en, &mut fab, HOST_NODE, 4096, &mut back)
+            .unwrap();
         assert_eq!(back, data);
     }
 }

@@ -74,6 +74,9 @@ impl fmt::Display for PcieError {
 
 impl std::error::Error for PcieError {}
 
+/// Decoded MMIO route: (offset within the window, owning node, target).
+type DecodedTarget = (u64, NodeId, Rc<RefCell<dyn MmioTarget>>);
+
 struct DeviceLink {
     name: String,
     cfg: PcieLinkConfig,
@@ -210,7 +213,7 @@ impl PcieFabric {
         }
     }
 
-    fn decode(&self, addr: u64, len: u64) -> Result<(u64, NodeId, Rc<RefCell<dyn MmioTarget>>), PcieError> {
+    fn decode(&self, addr: u64, len: u64) -> Result<DecodedTarget, PcieError> {
         let (range, entry) = self
             .map
             .decode_span(addr, len)
@@ -368,7 +371,12 @@ impl PcieFabric {
     }
 
     /// Convenience: 32-bit register read (host driver MMIO).
-    pub fn read_u32(&mut self, en: &mut Engine, requester: NodeId, addr: u64) -> Result<u32, PcieError> {
+    pub fn read_u32(
+        &mut self,
+        en: &mut Engine,
+        requester: NodeId,
+        addr: u64,
+    ) -> Result<u32, PcieError> {
         let mut b = [0u8; 4];
         self.read(en, requester, addr, &mut b)?;
         Ok(u32::from_le_bytes(b))
@@ -386,7 +394,12 @@ impl PcieFabric {
     }
 
     /// Convenience: 64-bit read.
-    pub fn read_u64(&mut self, en: &mut Engine, requester: NodeId, addr: u64) -> Result<u64, PcieError> {
+    pub fn read_u64(
+        &mut self,
+        en: &mut Engine,
+        requester: NodeId,
+        addr: u64,
+    ) -> Result<u64, PcieError> {
         let mut b = [0u8; 8];
         self.read(en, requester, addr, &mut b)?;
         Ok(u64::from_le_bytes(b))
@@ -458,7 +471,8 @@ mod tests {
         let e = fab.read(&mut en, ssd, 0x20_0000, &mut out);
         assert!(matches!(e, Err(PcieError::IommuFault { .. })));
         // After a grant it works.
-        fab.iommu_mut().grant(ssd, AddrRange::new(0x20_0000, 0x1000));
+        fab.iommu_mut()
+            .grant(ssd, AddrRange::new(0x20_0000, 0x1000));
         fab.read(&mut en, ssd, 0x20_0000, &mut out).unwrap();
         // Host accesses bypass the IOMMU.
         fab.write(&mut en, HOST_NODE, 0x20_0000, b"x").unwrap();
@@ -505,8 +519,12 @@ mod tests {
         let (mut en, mut fab, fpga, _) = setup();
         let t = scratch("regs");
         fab.map_region(fpga, AddrRange::new(0x1000, 0x100), t);
-        fab.write_u32(&mut en, HOST_NODE, 0x1004, 0xabcd_1234).unwrap();
-        assert_eq!(fab.read_u32(&mut en, HOST_NODE, 0x1004).unwrap(), 0xabcd_1234);
+        fab.write_u32(&mut en, HOST_NODE, 0x1004, 0xabcd_1234)
+            .unwrap();
+        assert_eq!(
+            fab.read_u32(&mut en, HOST_NODE, 0x1004).unwrap(),
+            0xabcd_1234
+        );
     }
 
     #[test]

@@ -20,8 +20,13 @@ pub trait MmioTarget {
     /// Serve a read of `out.len()` bytes at `offset` within the region.
     /// `arrival` is when the request reaches the target; the return value
     /// is the service latency before the completion data starts back.
-    fn read(&mut self, en: &mut Engine, arrival: SimTime, offset: u64, out: &mut [u8])
-        -> SimDuration;
+    fn read(
+        &mut self,
+        en: &mut Engine,
+        arrival: SimTime,
+        offset: u64,
+        out: &mut [u8],
+    ) -> SimDuration;
 
     /// Absorb a write of `data` at `offset`. Returns the service latency.
     fn write(&mut self, en: &mut Engine, arrival: SimTime, offset: u64, data: &[u8])

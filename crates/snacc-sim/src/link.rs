@@ -218,11 +218,7 @@ mod tests {
     #[test]
     fn link_serialises_transfers() {
         // 1 GB/s, 100 ns latency.
-        let mut l = SharedLink::new(
-            "test",
-            Bandwidth::gb_per_s(1.0),
-            SimDuration::from_ns(100),
-        );
+        let mut l = SharedLink::new("test", Bandwidth::gb_per_s(1.0), SimDuration::from_ns(100));
         let t0 = SimTime::ZERO;
         // First transfer of 1000 B: occupies [0,1000) ns, arrives 1100 ns.
         let a1 = l.transfer(t0, 1000);

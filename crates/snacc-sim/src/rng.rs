@@ -49,6 +49,19 @@ impl SimRng {
         lo + self.gen_range(hi - lo)
     }
 
+    /// Uniform duration in `[lo, hi]` (inclusive). Keeps component
+    /// latency jitter inside the SimDuration domain (lint SL005) while
+    /// drawing exactly one value from the stream — byte-for-byte the
+    /// same draw as `gen_between(lo_ps, hi_ps + 1)`.
+    #[inline]
+    pub fn gen_duration_between(
+        &mut self,
+        lo: crate::time::SimDuration,
+        hi: crate::time::SimDuration,
+    ) -> crate::time::SimDuration {
+        crate::time::SimDuration::from_ps(self.gen_between(lo.as_ps(), hi.as_ps() + 1))
+    }
+
     /// Uniform f64 in `[0, 1)`.
     #[inline]
     pub fn gen_f64(&mut self) -> f64 {

@@ -187,8 +187,9 @@ impl SpdkNvme {
                 .alloc_pinned(cfg.io_entries as u64 * spec::SQE_BYTES)
                 .segments()[0]
                 .base;
-            let slabs: Vec<PinnedBuffer> =
-                (0..qd).map(|_| hm.alloc_pinned(cfg.max_cmd_bytes)).collect();
+            let slabs: Vec<PinnedBuffer> = (0..qd)
+                .map(|_| hm.alloc_pinned(cfg.max_cmd_bytes))
+                .collect();
             let lists: Vec<u64> = (0..qd)
                 .map(|_| hm.alloc_pinned(4096).segments()[0].base)
                 .collect();
@@ -248,7 +249,10 @@ impl SpdkNvme {
             let mut i = self.inner.borrow_mut();
             sqe.cid = i.admin_sq.tail();
             let addr = i.admin_sq.tail_addr();
-            i.hostmem.borrow_mut().store_mut().write(addr, &sqe.encode());
+            i.hostmem
+                .borrow_mut()
+                .store_mut()
+                .write(addr, &sqe.encode());
             (addr, i.admin_sq.advance_tail())
         };
         let _ = addr;
@@ -257,7 +261,9 @@ impl SpdkNvme {
         let mut i = self.inner.borrow_mut();
         let head_addr = i.admin_cq.head_addr();
         let raw = i.hostmem.borrow_mut().store_mut().read_vec(head_addr, 16);
-        let cqe = Cqe::decode(&raw);
+        let Ok(cqe) = Cqe::decode(&raw) else {
+            return Err(SpdkError::NotReady);
+        };
         if cqe.phase != i.admin_cq.expected_phase() {
             return Err(SpdkError::NotReady);
         }
@@ -397,7 +403,10 @@ impl SpdkNvme {
         len: u64,
         data: Option<&[u8]>,
     ) -> Result<u16, SpdkError> {
-        assert!(addr % 512 == 0 && len % 512 == 0, "LBA alignment");
+        assert!(
+            addr.is_multiple_of(512) && len.is_multiple_of(512),
+            "LBA alignment"
+        );
         let (cid, tail, submit_done) = {
             let mut i = self.inner.borrow_mut();
             if len > i.cfg.max_cmd_bytes {
@@ -435,7 +444,10 @@ impl SpdkNvme {
             sqe.prp1 = prp1;
             sqe.prp2 = prp2;
             let sq_addr = i.io_sq.tail_addr();
-            i.hostmem.borrow_mut().store_mut().write(sq_addr, &sqe.encode());
+            i.hostmem
+                .borrow_mut()
+                .store_mut()
+                .write(sq_addr, &sqe.encode());
             let tail = i.io_sq.advance_tail();
 
             // Submission costs CPU time; the doorbell rings when the CPU
@@ -495,7 +507,9 @@ impl SpdkNvme {
                 let mut m = cq.borrow_mut();
                 m.mem_mut().read_vec(off, 16)
             };
-            let cqe = Cqe::decode(&raw);
+            let Ok(cqe) = Cqe::decode(&raw) else {
+                break;
+            };
             if cqe.phase != i.io_cq.expected_phase() {
                 break;
             }

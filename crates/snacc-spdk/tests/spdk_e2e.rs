@@ -27,12 +27,8 @@ fn rig(cfg: SpdkConfig) -> Rig {
     let t = Rc::new(RefCell::new(HostMemTarget::new(hostmem.clone(), 0)));
     fabric.map_region(HOST_NODE, AddrRange::new(0, 8 << 30), t);
     let fabric = Rc::new(RefCell::new(fabric));
-    let nvme = NvmeDeviceHandle::attach(
-        fabric.clone(),
-        NVME_BAR,
-        NvmeProfile::samsung_990pro(),
-        77,
-    );
+    let nvme =
+        NvmeDeviceHandle::attach(fabric.clone(), NVME_BAR, NvmeProfile::samsung_990pro(), 77);
     let spdk = SpdkNvme::new(fabric, hostmem.clone(), nvme.clone(), cfg);
     spdk.init(&mut en, CQ_PHYS).expect("init");
     en.run();
@@ -62,11 +58,16 @@ fn write_read_roundtrip() {
     assert!(done.borrow()[0].ok);
 
     // Media holds it.
-    let media = r.nvme.with(|d| d.nand_mut().media_mut().read_vec(4096, data.len()));
+    let media = r
+        .nvme
+        .with(|d| d.nand_mut().media_mut().read_vec(4096, data.len()));
     assert_eq!(media, data);
 
     // Read back through the driver.
-    let cid = r.spdk.submit_read(&mut r.en, 4096, data.len() as u64).unwrap();
+    let cid = r
+        .spdk
+        .submit_read(&mut r.en, 4096, data.len() as u64)
+        .unwrap();
     let slot = r.spdk.slot_of(cid).unwrap();
     r.en.run();
     assert_eq!(done.borrow().len(), 2);
@@ -221,7 +222,9 @@ fn prp_lists_are_stored_in_host_memory() {
     // pool was allocated after the slabs — just assert media correctness
     // plus completion; the builder unit tests cover the list layout).
     assert_eq!(r.spdk.stats().write_bytes, 1 << 20);
-    let media = r.nvme.with(|d| d.nand_mut().media_mut().read_vec(0, 1 << 20));
+    let media = r
+        .nvme
+        .with(|d| d.nand_mut().media_mut().read_vec(0, 1 << 20));
     let distinct: HashSet<u8> = media.iter().copied().collect();
     assert_eq!(distinct.len(), 1);
     assert!(distinct.contains(&3));

@@ -62,7 +62,7 @@ fn main() {
     let snap_dt = sys.en.now().since(t0).as_secs_f64();
     println!(
         "snapshot: {written} buckets ({} MiB) in {:.2} ms simulated ({:.2} GB/s)",
-        written * SLOT >> 20,
+        (written * SLOT) >> 20,
         snap_dt * 1e3,
         (written * SLOT) as f64 / 1e9 / snap_dt
     );

@@ -30,7 +30,6 @@ fn main() {
     let mut appended: u64 = 0;
     let mut responses: u64 = 0;
     let mut acc: Vec<u8> = Vec::with_capacity(batch as usize);
-    let mut header_sent = false;
     let t0 = sys.en.now();
     while appended < total {
         // Collect bytes for the current batch.
@@ -42,18 +41,14 @@ fn main() {
             }
         }
         // Append transfer: header (log tail address) + data.
-        if !header_sent {
-            let hdr = StreamBeat::mid(appended.to_le_bytes().to_vec());
-            while !axis::push(&ports.wr_in, &mut sys.en, hdr.clone()) {
-                assert!(sys.en.step());
-            }
-            header_sent = true;
+        let hdr = StreamBeat::mid(appended.to_le_bytes().to_vec());
+        while !axis::push(&ports.wr_in, &mut sys.en, hdr.clone()) {
+            assert!(sys.en.step());
         }
         let take: Vec<u8> = acc.drain(..batch as usize).collect();
         for chunk in take.chunks(64 << 10) {
             let last = acc.is_empty() && chunk.len() < (64 << 10)
-                || chunk.as_ptr() as usize + chunk.len()
-                    == take.as_ptr() as usize + take.len();
+                || chunk.as_ptr() as usize + chunk.len() == take.as_ptr() as usize + take.len();
             while !axis::push(
                 &ports.wr_in,
                 &mut sys.en,
@@ -66,7 +61,6 @@ fn main() {
             }
         }
         appended += batch;
-        header_sent = false;
         // Reap responses opportunistically.
         while axis::pop(&ports.wr_resp, &mut sys.en).is_some() {
             responses += 1;
@@ -85,8 +79,7 @@ fn main() {
     let s = tx.borrow().stats();
     println!(
         "source: {} frames sent, paused {} times by 802.3x backpressure",
-        s.tx_frames,
-        s.pauses_received
+        s.tx_frames, s.pauses_received
     );
 
     // Verify the log contents against the deterministic source pattern.

@@ -19,10 +19,14 @@ fn main() {
     // Write 1 MiB at byte address 0: header beat carries the address,
     // data beats follow, TLAST closes the transfer (paper Sec 4.1, ①b).
     let payload: Vec<u8> = (0..1 << 20).map(|i| (i * 31 % 251) as u8).collect();
-    axis::push(&ports.wr_in, &mut sys.en, StreamBeat::mid(0u64.to_le_bytes().to_vec()));
+    axis::push(
+        &ports.wr_in,
+        &mut sys.en,
+        StreamBeat::mid(0u64.to_le_bytes().to_vec()),
+    );
     for chunk in payload.chunks(64 << 10) {
-        let last = chunk.as_ptr() as usize + chunk.len()
-            == payload.as_ptr() as usize + payload.len();
+        let last =
+            chunk.as_ptr() as usize + chunk.len() == payload.as_ptr() as usize + payload.len();
         while !axis::push(
             &ports.wr_in,
             &mut sys.en,
@@ -37,7 +41,10 @@ fn main() {
     sys.en.run();
     let token = axis::pop(&ports.wr_resp, &mut sys.en).expect("write response (⑥b)");
     let written = u64::from_le_bytes(token.data[..8].try_into().unwrap());
-    println!("write response: {written} bytes persisted at t = {}", sys.en.now());
+    println!(
+        "write response: {written} bytes persisted at t = {}",
+        sys.en.now()
+    );
 
     // Read it back (①a → ⑥a).
     axis::push(&ports.rd_cmd, &mut sys.en, encode_read_cmd(0, 1 << 20));
@@ -55,7 +62,11 @@ fn main() {
         }
     }
     assert_eq!(back, payload, "readback must match");
-    println!("readback verified: {} bytes, simulated time {}", back.len(), sys.en.now());
+    println!(
+        "readback verified: {} bytes, simulated time {}",
+        back.len(),
+        sys.en.now()
+    );
 
     // No host involvement after bring-up: that's the paper's headline.
     let st = sys.streamer.stats();

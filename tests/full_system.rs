@@ -12,26 +12,45 @@ fn write_and_verify(variant: StreamerVariant, len: usize, addr: u64) {
     let mut rng = SimRng::new(addr ^ len as u64);
     let mut data = vec![0u8; len];
     rng.fill_bytes(&mut data);
-    axis::push(&ports.wr_in, &mut sys.en, StreamBeat::mid(addr.to_le_bytes().to_vec()));
+    axis::push(
+        &ports.wr_in,
+        &mut sys.en,
+        StreamBeat::mid(addr.to_le_bytes().to_vec()),
+    );
     for (i, chunk) in data.chunks(64 << 10).enumerate() {
         let last = (i + 1) * (64 << 10) >= len;
-        while !axis::push(&ports.wr_in, &mut sys.en, StreamBeat { data: chunk.to_vec(), last }) {
+        while !axis::push(
+            &ports.wr_in,
+            &mut sys.en,
+            StreamBeat {
+                data: chunk.to_vec(),
+                last,
+            },
+        ) {
             assert!(sys.en.step());
         }
     }
     sys.en.run();
     assert!(axis::pop(&ports.wr_resp, &mut sys.en).is_some());
-    let media = sys.nvme.with(|d| d.nand_mut().media_mut().read_vec(addr, len));
+    let media = sys
+        .nvme
+        .with(|d| d.nand_mut().media_mut().read_vec(addr, len));
     assert_eq!(fnv1a(&media), fnv1a(&data));
     // Read back through the other direction.
-    axis::push(&ports.rd_cmd, &mut sys.en, encode_read_cmd(addr, len as u64));
+    axis::push(
+        &ports.rd_cmd,
+        &mut sys.en,
+        encode_read_cmd(addr, len as u64),
+    );
     let mut back = Vec::new();
     loop {
         match axis::pop(&ports.rd_data, &mut sys.en) {
             Some(b) => {
                 let done = b.last;
                 back.extend(b.data);
-                if done { break; }
+                if done {
+                    break;
+                }
             }
             None => assert!(sys.en.step()),
         }
@@ -61,7 +80,11 @@ fn ooo_extension_roundtrip() {
     let addrs: Vec<u64> = (0..32).map(|_| rng.gen_range(1 << 16) * 4096).collect();
     for (i, &a) in addrs.iter().enumerate() {
         let payload = vec![i as u8 + 1; 4096];
-        axis::push(&ports.wr_in, &mut sys.en, StreamBeat::mid(a.to_le_bytes().to_vec()));
+        axis::push(
+            &ports.wr_in,
+            &mut sys.en,
+            StreamBeat::mid(a.to_le_bytes().to_vec()),
+        );
         while !axis::push(&ports.wr_in, &mut sys.en, StreamBeat::last(payload.clone())) {
             assert!(sys.en.step());
         }
@@ -80,7 +103,9 @@ fn ooo_extension_roundtrip() {
                 Some(b) => {
                     let done = b.last;
                     page.extend(b.data);
-                    if done { break; }
+                    if done {
+                        break;
+                    }
                 }
                 None => assert!(sys.en.step()),
             }
@@ -94,7 +119,10 @@ fn case_study_small_run_via_facade() {
     let mut sys = SnaccSystem::bring_up(SystemConfig::snacc(StreamerVariant::HostDram));
     let report = run_snacc_case_study(
         &mut sys,
-        CaseStudyConfig { images: 6, ..Default::default() },
+        CaseStudyConfig {
+            images: 6,
+            ..Default::default()
+        },
     );
     assert_eq!(report.images, 6);
     assert!(report.bandwidth_gbps > 0.5);
@@ -110,7 +138,11 @@ fn spdk_and_streamer_agree_on_media_state() {
     let mut sys = SnaccSystem::bring_up(SystemConfig::snacc(StreamerVariant::Uram));
     let ports = sys.streamer.ports();
     let data = vec![0xEEu8; 64 << 10];
-    axis::push(&ports.wr_in, &mut sys.en, StreamBeat::mid(8192u64.to_le_bytes().to_vec()));
+    axis::push(
+        &ports.wr_in,
+        &mut sys.en,
+        StreamBeat::mid(8192u64.to_le_bytes().to_vec()),
+    );
     while !axis::push(&ports.wr_in, &mut sys.en, StreamBeat::last(data.clone())) {
         assert!(sys.en.step());
     }
@@ -133,7 +165,12 @@ fn spdk_and_streamer_agree_on_media_state() {
     // a destructive handover, acceptable in the test), then re-init.
     sys.fabric
         .borrow_mut()
-        .write_u32(&mut sys.en, snacc::pcie::HOST_NODE, sys.nvme.bar0_base() + 0x14, 0)
+        .write_u32(
+            &mut sys.en,
+            snacc::pcie::HOST_NODE,
+            sys.nvme.bar0_base() + 0x14,
+            0,
+        )
         .unwrap();
     sys.en.run();
     spdk.init(&mut sys.en, layout::SPDK_CQ).expect("init");
@@ -165,7 +202,10 @@ fn ethernet_to_storage_is_lossless_under_backpressure() {
         if let Some(f) = mac::pop_frame(&rx, &mut sys.en) {
             let n = f.payload.len() as u64;
             let last = moved + n >= total;
-            let mut beat = Some(StreamBeat { data: f.payload, last });
+            let mut beat = Some(StreamBeat {
+                data: f.payload,
+                last,
+            });
             while let Some(b) = beat.take() {
                 if !axis::push(&ports.wr_in, &mut sys.en, b.clone()) {
                     beat = Some(b);
@@ -181,7 +221,9 @@ fn ethernet_to_storage_is_lossless_under_backpressure() {
     assert_eq!(rx.borrow().stats().rx_drops, 0, "flow control must hold");
     // Verify a slice of the stored stream against the source pattern.
     let probe = 11u64 << 20;
-    let media = sys.nvme.with(|d| d.nand_mut().media_mut().read_vec(probe, 8192));
+    let media = sys
+        .nvme
+        .with(|d| d.nand_mut().media_mut().read_vec(probe, 8192));
     for (i, &b) in media.iter().enumerate() {
         assert_eq!(b, pattern_byte(probe + i as u64));
     }

@@ -1,0 +1,147 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the minimal harness API the benchmark suite uses: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark runs a
+//! short warmup plus `sample_size` timed samples and prints the mean
+//! per-iteration wall time. There is no statistical analysis, plotting,
+//! or baseline comparison.
+//!
+//! This is a benchmark *harness*, not part of the simulation: wall-clock
+//! timing here is intentional and exempt from the SL001 determinism lint
+//! (which scopes to simulation crates only).
+
+use std::time::Instant;
+
+/// Top-level harness handle passed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("benchmark group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark and print its mean per-iteration time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            total_ns: 0,
+            iters: 0,
+        };
+        // One untimed warmup pass.
+        f(&mut b);
+        b.total_ns = 0;
+        b.iters = 0;
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let mean_ns = if b.iters == 0 {
+            0
+        } else {
+            b.total_ns / b.iters as u128
+        };
+        eprintln!(
+            "  {}/{id}: {:.3} ms/iter over {} iters",
+            self.name,
+            mean_ns as f64 / 1e6,
+            b.iters
+        );
+        self
+    }
+
+    /// End the group (reporting is per-benchmark; nothing extra to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; times the provided routine.
+pub struct Bencher {
+    total_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time one execution of `routine`, accumulating into the sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.total_ns += start.elapsed().as_nanos();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    ($group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group (used with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_counts_iters() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        let mut calls = 0u64;
+        g.sample_size(3);
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        // 1 warmup + 3 samples.
+        assert_eq!(calls, 4);
+    }
+}

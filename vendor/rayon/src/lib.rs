@@ -1,0 +1,69 @@
+//! Offline vendored stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the `par_iter()` / `into_par_iter()` entry points the benchmark harness
+//! uses, executing sequentially on the calling thread. Results are
+//! identical to rayon's (the workspace only uses order-preserving
+//! `map`/`collect` pipelines); only wall-clock parallel speedup is lost,
+//! which is acceptable for an offline build.
+
+/// Sequential equivalents of rayon's parallel-iterator entry points.
+pub mod prelude {
+    /// `into_par_iter()` for owned collections and ranges.
+    pub trait IntoParallelIterator {
+        /// The underlying (sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item;
+        /// Convert into an iterator. Sequential in this vendored build.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` for borrowed collections.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The underlying (sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type (a reference).
+        type Item: 'a;
+        /// Iterate by reference. Sequential in this vendored build.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, C: 'a> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator,
+    {
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+        type Item = <&'a C as IntoIterator>::Item;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn into_par_iter_matches_sequential() {
+        let doubled: Vec<u32> = (0u32..8).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let xs = vec![1u64, 2, 3];
+        let sum: u64 = xs.par_iter().map(|x| x * x).sum();
+        assert_eq!(sum, 14);
+        assert_eq!(xs.len(), 3);
+    }
+}
