@@ -1,7 +1,7 @@
 //! Sec 4.7 — Ethernet flow control: a 100 G source against a slow sink,
 //! directly and through a switch. Losslessness and goodput throttling.
 
-use snacc_bench::{print_table, BenchRecord};
+use snacc_bench::{print_table, BenchRecord, Telemetry};
 use snacc_net::frame::MacAddr;
 use snacc_net::mac::{self, EthMac, MacConfig};
 use snacc_net::switch::EthSwitch;
@@ -40,6 +40,7 @@ fn run(through_switch: bool, sink_gbps: f64, fc: bool) -> (f64, u64, u64) {
 }
 
 fn main() {
+    let telemetry = Telemetry::from_args();
     let mut records = Vec::new();
     for (label, sw, gbps, fc) in [
         ("direct, 6 GB/s sink, FC on", false, 6.0, true),
@@ -60,4 +61,5 @@ fn main() {
     }
     print_table("Sec 4.7 — 802.3x flow control under a slow sink", &records);
     snacc_bench::report::save_json(&records);
+    telemetry.finish();
 }

@@ -3,7 +3,7 @@
 
 use snacc_apps::system::{SnaccSystem, SystemConfig};
 use snacc_bench::workloads::{fill_byte, streamer_read, streamer_write};
-use snacc_bench::{print_table, BenchRecord};
+use snacc_bench::{print_table, BenchRecord, Telemetry};
 use snacc_core::config::{StreamerConfig, StreamerVariant};
 use snacc_nvme::NvmeProfile;
 
@@ -31,6 +31,7 @@ fn run(profile: NvmeProfile, write: bool) -> f64 {
 }
 
 fn main() {
+    let telemetry = Telemetry::from_args();
     let mut records = Vec::new();
     for (label, profile) in [
         ("Gen4 x4 (990 PRO)", NvmeProfile::samsung_990pro()),
@@ -59,4 +60,5 @@ fn main() {
         &records,
     );
     snacc_bench::report::save_json(&records);
+    telemetry.finish();
 }

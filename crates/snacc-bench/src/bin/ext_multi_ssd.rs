@@ -3,7 +3,7 @@
 //! striping layer fanning one logical stream across them.
 
 use snacc_apps::system::layout;
-use snacc_bench::{print_table, BenchRecord};
+use snacc_bench::{print_table, BenchRecord, Telemetry};
 use snacc_core::config::{StreamerConfig, StreamerVariant};
 use snacc_core::hostinit::SnaccHostDriver;
 use snacc_core::multi::MultiSsd;
@@ -65,6 +65,7 @@ fn aggregate_write_bw(n_ssds: usize) -> f64 {
 }
 
 fn main() {
+    let telemetry = Telemetry::from_args();
     let mut records = Vec::new();
     for n in 1..=4usize {
         let bw = aggregate_write_bw(n);
@@ -79,4 +80,5 @@ fn main() {
     }
     print_table("Sec 7 extension — multi-SSD write scaling", &records);
     snacc_bench::report::save_json(&records);
+    telemetry.finish();
 }

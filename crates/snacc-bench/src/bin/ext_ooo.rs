@@ -3,7 +3,7 @@
 
 use snacc_apps::system::{SnaccSystem, SystemConfig};
 use snacc_bench::workloads::{snacc_rand_bandwidth, Dir};
-use snacc_bench::{print_table, BenchRecord};
+use snacc_bench::{print_table, BenchRecord, Telemetry};
 use snacc_core::config::{StreamerConfig, StreamerVariant};
 use snacc_nvme::NvmeProfile;
 
@@ -43,6 +43,7 @@ fn ooo_rand_read(total: u64) -> f64 {
 }
 
 fn main() {
+    let telemetry = Telemetry::from_args();
     let total: u64 = if std::env::var("SNACC_QUICK").is_ok() {
         128 << 20
     } else {
@@ -66,4 +67,5 @@ fn main() {
         &records,
     );
     snacc_bench::report::save_json(&records);
+    telemetry.finish();
 }

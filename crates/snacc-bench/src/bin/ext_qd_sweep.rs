@@ -3,22 +3,27 @@
 
 use rayon::prelude::*;
 use snacc_bench::workloads::{spdk_bandwidth, Dir};
-use snacc_bench::{print_table, BenchRecord};
+use snacc_bench::{print_table, BenchRecord, Telemetry};
 
 fn main() {
+    let telemetry = Telemetry::from_args();
     let total: u64 = if std::env::var("SNACC_QUICK").is_ok() {
         128 << 20
     } else {
         512 << 20
     };
     let qds = [8u16, 16, 32, 64, 128, 256];
-    let records: Vec<BenchRecord> = qds
-        .par_iter()
-        .map(|&qd| {
-            let bw = spdk_bandwidth(Dir::Read, true, total, qd, 31);
-            BenchRecord::new("ext_qd_sweep", &format!("QD {qd}"), bw, None, "GB/s")
-        })
-        .collect();
+    let run = |&qd: &u16| {
+        let bw = spdk_bandwidth(Dir::Read, true, total, qd, 31);
+        BenchRecord::new("ext_qd_sweep", &format!("QD {qd}"), bw, None, "GB/s")
+    };
+    // The tracer is thread-local: record sequentially when tracing.
+    let records: Vec<BenchRecord> = if telemetry.tracing() {
+        qds.iter().map(run).collect()
+    } else {
+        qds.par_iter().map(run).collect()
+    };
     print_table("SPDK random 4 KiB read vs submission queue depth", &records);
     snacc_bench::report::save_json(&records);
+    telemetry.finish();
 }

@@ -3,7 +3,7 @@
 //! reported as the paper's alternating lo/hi pair.
 
 use snacc_bench::workloads::{snacc_seq_bandwidth, spdk_seq_series, Dir};
-use snacc_bench::{print_table, BenchRecord};
+use snacc_bench::{print_table, BenchRecord, Telemetry};
 use snacc_core::config::StreamerVariant;
 
 fn minmax(series: &[f64]) -> (f64, f64) {
@@ -13,6 +13,7 @@ fn minmax(series: &[f64]) -> (f64, f64) {
 }
 
 fn main() {
+    let telemetry = Telemetry::from_args();
     // 3 GiB spans both program-rate states (1 GiB state blocks) while
     // keeping the functional media resident within small-machine RAM;
     // SNACC_QUICK drops to 2 GiB. The first write window is warm-up (the
@@ -111,4 +112,5 @@ fn main() {
 
     print_table("Fig 4a — sequential bandwidth (GB/s)", &records);
     snacc_bench::report::save_json(&records);
+    telemetry.finish();
 }

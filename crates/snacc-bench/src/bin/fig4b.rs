@@ -3,10 +3,11 @@
 
 use rayon::prelude::*;
 use snacc_bench::workloads::{snacc_rand_bandwidth, spdk_bandwidth, Dir};
-use snacc_bench::{print_table, BenchRecord};
+use snacc_bench::{print_table, BenchRecord, Telemetry};
 use snacc_core::config::StreamerVariant;
 
 fn main() {
+    let telemetry = Telemetry::from_args();
     let total: u64 = if std::env::var("SNACC_QUICK").is_ok() {
         256 << 20
     } else {
@@ -52,16 +53,21 @@ fn main() {
         ),
         ("SPDK rand-w".into(), Dir::Write, None, Some(5.25)),
     ];
-    let records: Vec<BenchRecord> = jobs
-        .into_par_iter()
-        .map(|(label, dir, variant, paper)| {
+    let run =
+        |(label, dir, variant, paper): (String, Dir, Option<StreamerVariant>, Option<f64>)| {
             let gbps = match variant {
                 Some(v) => snacc_rand_bandwidth(v, dir, total, 0xF1B4),
                 None => spdk_bandwidth(dir, true, total, 64, 0xF1B4),
             };
             BenchRecord::new("fig4b", &label, gbps, paper, "GB/s")
-        })
-        .collect();
+        };
+    // The tracer is thread-local: record sequentially when tracing.
+    let records: Vec<BenchRecord> = if telemetry.tracing() {
+        jobs.into_iter().map(run).collect()
+    } else {
+        jobs.into_par_iter().map(run).collect()
+    };
     print_table("Fig 4b — random 4 KiB bandwidth, QD 64 (GB/s)", &records);
     snacc_bench::report::save_json(&records);
+    telemetry.finish();
 }

@@ -4,10 +4,11 @@
 
 use rayon::prelude::*;
 use snacc_bench::workloads::{snacc_latency_us, spdk_latency_us, Dir};
-use snacc_bench::{print_table, BenchRecord};
+use snacc_bench::{print_table, BenchRecord, Telemetry};
 use snacc_core::config::StreamerVariant;
 
 fn main() {
+    let telemetry = Telemetry::from_args();
     let trials = 100;
     let jobs: Vec<(String, Dir, Option<StreamerVariant>, Option<f64>)> = vec![
         (
@@ -49,19 +50,24 @@ fn main() {
         ),
         ("SPDK write".into(), Dir::Write, None, Some(6.0)),
     ];
-    let records: Vec<BenchRecord> = jobs
-        .into_par_iter()
-        .map(|(label, dir, variant, paper)| {
+    let run =
+        |(label, dir, variant, paper): (String, Dir, Option<StreamerVariant>, Option<f64>)| {
             let us = match variant {
                 Some(v) => snacc_latency_us(v, dir, trials, 0xC4),
                 None => spdk_latency_us(dir, trials, 0xC4),
             };
             BenchRecord::new("fig4c", &label, us, paper, "us")
-        })
-        .collect();
+        };
+    // The tracer is thread-local: record sequentially when tracing.
+    let records: Vec<BenchRecord> = if telemetry.tracing() {
+        jobs.into_iter().map(run).collect()
+    } else {
+        jobs.into_par_iter().map(run).collect()
+    };
     print_table(
         "Fig 4c — single 4 KiB access latency (µs; write rows: paper reports <9 µs)",
         &records,
     );
     snacc_bench::report::save_json(&records);
+    telemetry.finish();
 }

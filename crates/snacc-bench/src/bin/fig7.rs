@@ -7,10 +7,11 @@ use snacc_apps::gpu::{run_gpu_case_study, GpuModel};
 use snacc_apps::pipeline::{run_snacc_case_study, CaseStudyConfig};
 use snacc_apps::spdk_ref::run_spdk_case_study;
 use snacc_apps::system::{SnaccSystem, SystemConfig};
-use snacc_bench::{print_table, BenchRecord};
+use snacc_bench::{print_table, BenchRecord, Telemetry};
 use snacc_core::config::StreamerVariant;
 
 fn main() {
+    let telemetry = Telemetry::from_args();
     let images: u64 = if std::env::var("SNACC_FULL").is_ok() {
         16384
     } else {
@@ -71,4 +72,5 @@ fn main() {
         .collect();
     print_table("Fig 7 — PCIe transfer volume per stored byte", &records);
     snacc_bench::report::save_json(&records);
+    telemetry.finish();
 }

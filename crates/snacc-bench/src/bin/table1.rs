@@ -1,12 +1,13 @@
 //! Table 1 — FPGA resource utilisation of the NVMe Streamer variants:
 //! compositional model vs the paper's synthesis results.
 
-use snacc_bench::{print_table, BenchRecord};
+use snacc_bench::{print_table, BenchRecord, Telemetry};
 use snacc_core::config::{StreamerConfig, StreamerVariant};
 use snacc_core::resources::{paper_table1, streamer_resources};
 use snacc_fpga::resources::DeviceResources;
 
 fn main() {
+    let telemetry = Telemetry::from_args();
     let dev = DeviceResources::alveo_u280();
     let mut records = Vec::new();
     for v in StreamerVariant::all() {
@@ -53,4 +54,5 @@ fn main() {
         &records,
     );
     snacc_bench::report::save_json(&records);
+    telemetry.finish();
 }

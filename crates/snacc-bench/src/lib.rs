@@ -22,6 +22,8 @@
 //! across cores).
 
 pub mod report;
+pub mod telemetry;
 pub mod workloads;
 
 pub use report::{print_table, BenchRecord};
+pub use telemetry::Telemetry;

@@ -1,0 +1,111 @@
+//! `--trace` / `--metrics-json` support shared by the evaluation binaries.
+//!
+//! [`Telemetry::from_args`] scans the process arguments; `--trace <path>`
+//! installs a fresh [`Tracer`] so every model-crate instrumentation site
+//! starts recording, and `--metrics-json <path>` installs a fresh metrics
+//! registry scoped to this run. [`Telemetry::finish`] writes the exports:
+//! the trace as Chrome `trace_event` JSON (open it in
+//! <https://ui.perfetto.dev> or `chrome://tracing`), the metrics as a
+//! key-sorted JSON snapshot.
+
+use snacc_trace::{MetricsRegistry, Tracer};
+use std::path::PathBuf;
+
+/// Parsed telemetry flags; holds the export paths while the thread-local
+/// tracer/registry record the run.
+pub struct Telemetry {
+    trace_path: Option<PathBuf>,
+    metrics_path: Option<PathBuf>,
+}
+
+fn parse(args: impl Iterator<Item = String>) -> (Option<PathBuf>, Option<PathBuf>) {
+    let mut trace_path = None;
+    let mut metrics_path = None;
+    let mut args = args;
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            trace_path = args.next().map(PathBuf::from);
+        } else if let Some(p) = a.strip_prefix("--trace=") {
+            trace_path = Some(PathBuf::from(p));
+        } else if a == "--metrics-json" {
+            metrics_path = args.next().map(PathBuf::from);
+        } else if let Some(p) = a.strip_prefix("--metrics-json=") {
+            metrics_path = Some(PathBuf::from(p));
+        }
+    }
+    (trace_path, metrics_path)
+}
+
+impl Telemetry {
+    /// Parse `--trace <path>` / `--metrics-json <path>` (also the
+    /// `--flag=path` spelling) from the process arguments and install the
+    /// corresponding sinks. Other arguments are ignored.
+    pub fn from_args() -> Telemetry {
+        let (trace_path, metrics_path) = parse(std::env::args().skip(1));
+        if trace_path.is_some() {
+            snacc_trace::install(Tracer::new());
+        }
+        if metrics_path.is_some() {
+            snacc_trace::install_registry(MetricsRegistry::new());
+        }
+        Telemetry {
+            trace_path,
+            metrics_path,
+        }
+    }
+
+    /// Is a trace being recorded? Binaries that fan independent
+    /// simulations across threads with rayon must fall back to sequential
+    /// execution in that case — the tracer (like the simulation itself)
+    /// is thread-local, and a deterministic trace needs a deterministic
+    /// interleaving anyway.
+    pub fn tracing(&self) -> bool {
+        self.trace_path.is_some()
+    }
+
+    /// Write the requested export files and stop recording.
+    pub fn finish(self) {
+        if let Some(p) = &self.trace_path {
+            let tracer = snacc_trace::uninstall().expect("tracer was installed");
+            std::fs::write(p, snacc_trace::export_chrome_trace(&tracer)).expect("write trace");
+            eprintln!(
+                "(trace: {} events -> {}; open in https://ui.perfetto.dev)",
+                tracer.events_recorded(),
+                p.display()
+            );
+        }
+        if let Some(p) = &self.metrics_path {
+            std::fs::write(p, snacc_trace::registry().snapshot_json()).expect("write metrics");
+            eprintln!("(metrics -> {})", p.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> impl Iterator<Item = String> {
+        v.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parses_both_flag_spellings() {
+        let (t, m) = parse(strings(&["--trace", "a.json", "--metrics-json=m.json"]));
+        assert_eq!(t, Some(PathBuf::from("a.json")));
+        assert_eq!(m, Some(PathBuf::from("m.json")));
+        let (t, m) = parse(strings(&["--trace=b.json", "--metrics-json", "n.json"]));
+        assert_eq!(t, Some(PathBuf::from("b.json")));
+        assert_eq!(m, Some(PathBuf::from("n.json")));
+    }
+
+    #[test]
+    fn ignores_unrelated_args() {
+        let (t, m) = parse(strings(&["--quiet", "positional"]));
+        assert_eq!(t, None);
+        assert_eq!(m, None);
+    }
+}

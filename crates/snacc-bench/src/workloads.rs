@@ -23,6 +23,45 @@ fn scrub_host(host: &mut HostSystem) {
     host.hostmem.borrow_mut().store_mut().clear();
 }
 
+/// Arm the periodic telemetry probe: every 100 µs of simulated time,
+/// sample the streamer's byte counters and the user-channel occupancies
+/// into counter tracks (line plots in Perfetto — the backpressure
+/// picture). No-op when tracing is disabled. The probe chain dies when
+/// the event queue drains, so callers re-arm per measurement window.
+pub fn arm_streamer_probe(sys: &mut SnaccSystem) {
+    if !snacc_trace::enabled() {
+        return;
+    }
+    let m = sys.streamer.metrics();
+    let ports = sys.streamer.ports();
+    snacc_trace::probe::arm(&mut sys.en, SimDuration::from_us(100), move |en| {
+        snacc_trace::counter(
+            en,
+            "probe.streamer",
+            "bytes_to_pe",
+            m.bytes_to_pe.get() as f64,
+        );
+        snacc_trace::counter(
+            en,
+            "probe.streamer",
+            "bytes_from_pe",
+            m.bytes_from_pe.get() as f64,
+        );
+        snacc_trace::counter(
+            en,
+            "probe.axis",
+            "rd_data_occ",
+            ports.rd_data.borrow().occupancy() as f64,
+        );
+        snacc_trace::counter(
+            en,
+            "probe.axis",
+            "wr_in_occ",
+            ports.wr_in.borrow().occupancy() as f64,
+        );
+    });
+}
+
 /// The I/O direction of a benchmark run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Dir {
@@ -112,6 +151,7 @@ pub fn snacc_seq_bandwidth(variant: StreamerVariant, dir: Dir, total: u64) -> Ve
     let mut off = 0u64;
     while off < total {
         let n = gib.min(total - off);
+        arm_streamer_probe(&mut sys);
         let t0 = sys.en.now();
         match dir {
             Dir::Write => streamer_write(&mut sys, off, n),
@@ -135,6 +175,7 @@ pub fn snacc_rand_bandwidth(variant: StreamerVariant, dir: Dir, total: u64, seed
     let mut rng = snacc_sim::SimRng::new(seed);
     let count = total / 4096;
     let ports = sys.streamer.ports();
+    arm_streamer_probe(&mut sys);
     let t0 = sys.en.now();
     match dir {
         Dir::Read => {
@@ -201,6 +242,7 @@ pub fn snacc_latency_us(variant: StreamerVariant, dir: Dir, trials: u32, seed: u
     let mut sum = 0.0;
     for _ in 0..trials {
         let addr = rng.gen_range(span / 4096) * 4096;
+        arm_streamer_probe(&mut sys);
         let t0 = sys.en.now();
         match dir {
             Dir::Read => streamer_read(&mut sys, addr, 4096),

@@ -30,6 +30,7 @@ use snacc_nvme::spec::{self, Cqe, IoOpcode, Sqe};
 use snacc_pcie::target::{NotifyTarget, ScratchTarget};
 use snacc_pcie::{NodeId, PcieFabric};
 use snacc_sim::{Engine, SimTime};
+use snacc_trace::{self as trace, CounterHandle, HistogramHandle};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
@@ -95,10 +96,18 @@ enum CmdInfo {
         len: u64,
         /// This segment ends the user transfer (emit TLAST).
         last_of_xfer: bool,
+        /// Open trace span (inert when tracing is off).
+        span: trace::SpanId,
+        /// Issue time, for the retirement-latency histogram.
+        issued_at: SimTime,
     },
     Write {
         region: Region,
         xfer_id: u64,
+        /// Open trace span (inert when tracing is off).
+        span: trace::SpanId,
+        /// Issue time, for the retirement-latency histogram.
+        issued_at: SimTime,
     },
 }
 
@@ -153,29 +162,53 @@ struct XferState {
     bytes: u64,
 }
 
-/// Streamer statistics.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct StreamerStats {
+/// Streamer telemetry, backed by the metrics registry under the scope
+/// `streamer.n<node>.*`. Handles are cheap `Rc` clones shared with the
+/// registry, so values read here (`handle.get()`) are live, and the same
+/// numbers appear in `--metrics-json` snapshots.
+#[derive(Clone)]
+pub struct StreamerMetrics {
     /// NVMe commands issued.
-    pub cmds_issued: u64,
+    pub cmds_issued: CounterHandle,
     /// Read commands issued.
-    pub read_cmds: u64,
+    pub read_cmds: CounterHandle,
     /// Write commands issued.
-    pub write_cmds: u64,
+    pub write_cmds: CounterHandle,
     /// Payload bytes streamed to the PE.
-    pub bytes_to_pe: u64,
+    pub bytes_to_pe: CounterHandle,
     /// Payload bytes accepted from the PE.
-    pub bytes_from_pe: u64,
+    pub bytes_from_pe: CounterHandle,
     /// Commands completed with error status.
-    pub errors: u64,
+    pub errors: CounterHandle,
     /// Doorbell writes issued over PCIe.
-    pub doorbells: u64,
+    pub doorbells: CounterHandle,
     /// Write-response tokens emitted.
-    pub responses: u64,
+    pub responses: CounterHandle,
     /// process_cq invocations (diagnostic).
-    pub cq_events: u64,
+    pub cq_events: CounterHandle,
     /// CQEs consumed (diagnostic).
-    pub cqes_consumed: u64,
+    pub cqes_consumed: CounterHandle,
+    /// Per-command issue→retire latency in microseconds.
+    pub cmd_latency_us: HistogramHandle,
+}
+
+impl StreamerMetrics {
+    fn new(scope: &str) -> Self {
+        let c = |leaf: &str| trace::metric_counter(&format!("{scope}.{leaf}"));
+        StreamerMetrics {
+            cmds_issued: c("cmds_issued"),
+            read_cmds: c("read_cmds"),
+            write_cmds: c("write_cmds"),
+            bytes_to_pe: c("bytes_to_pe"),
+            bytes_from_pe: c("bytes_from_pe"),
+            errors: c("errors"),
+            doorbells: c("doorbells"),
+            responses: c("responses"),
+            cq_events: c("cq_events"),
+            cqes_consumed: c("cqes_consumed"),
+            cmd_latency_us: trace::metric_histogram(&format!("{scope}.cmd_latency_us")),
+        }
+    }
 }
 
 /// Device-visible window addresses of an instantiated streamer.
@@ -224,7 +257,9 @@ pub struct NvmeStreamer {
     issuing: bool,
     wr_busy: bool,
     cq_busy: bool,
-    stats: StreamerStats,
+    metrics: StreamerMetrics,
+    /// Trace track name (`streamer.n<node>`), shared with the metrics scope.
+    track: String,
 }
 
 /// Shared handle to an instantiated streamer.
@@ -369,6 +404,8 @@ impl StreamerHandle {
 
         let wr_ring =
             (cfg.write_buffer_bytes() > 0).then(|| RingAllocator::new(cfg.write_buffer_bytes()));
+        let scope = format!("streamer.n{}", node.0);
+        let metrics = StreamerMetrics::new(&scope);
         let streamer = Rc::new(RefCell::new(NvmeStreamer {
             rd_ring: RingAllocator::new(cfg.read_buffer_bytes()),
             wr_ring,
@@ -390,7 +427,8 @@ impl StreamerHandle {
             issuing: false,
             wr_busy: false,
             cq_busy: false,
-            stats: StreamerStats::default(),
+            metrics,
+            track: scope,
             cfg,
             fabric,
             node,
@@ -472,9 +510,10 @@ impl StreamerHandle {
         self.inner.borrow().cfg.sq_entries
     }
 
-    /// Statistics snapshot.
-    pub fn stats(&self) -> StreamerStats {
-        self.inner.borrow().stats
+    /// Telemetry handles (live registry-backed counters — read with
+    /// `handle.get()`).
+    pub fn metrics(&self) -> StreamerMetrics {
+        self.inner.borrow().metrics.clone()
     }
 
     /// Install the pinned host buffers (host-DRAM variant; the TaPaSCo
@@ -930,7 +969,7 @@ fn pump_write_in(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
         {
             let mut s = rc2.borrow_mut();
             s.wr_busy = false;
-            s.stats.bytes_from_pe += chunk_len;
+            s.metrics.bytes_from_pe.add(chunk_len);
             let acc = s.accum.as_mut().unwrap();
             let (r, f) = acc.region.unwrap();
             let new_fill = f + chunk_len;
@@ -1016,6 +1055,7 @@ fn try_issue(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
 
     // Build the SQE.
     let (sqe_no_cid, info, kind, region, len) = {
+        let issued_at = en.now();
         match cmd {
             PendingCmd::Read {
                 nvme_addr,
@@ -1023,6 +1063,16 @@ fn try_issue(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
                 last_of_xfer,
             } => {
                 let region = read_region.expect("read region allocated");
+                let span = if trace::enabled() {
+                    trace::begin(
+                        en,
+                        &rc.borrow().track,
+                        "cmd.read",
+                        &[("nvme_addr", nvme_addr), ("len", len)],
+                    )
+                } else {
+                    trace::SpanId::NONE
+                };
                 let sqe = Sqe::io(IoOpcode::Read, 0, nvme_addr / LBA, (len / LBA - 1) as u16);
                 (
                     sqe,
@@ -1030,6 +1080,8 @@ fn try_issue(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
                         region,
                         len,
                         last_of_xfer,
+                        span,
+                        issued_at,
                     },
                     BufKind::Read,
                     region,
@@ -1042,10 +1094,25 @@ fn try_issue(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
                 region,
                 xfer_id,
             } => {
+                let span = if trace::enabled() {
+                    trace::begin(
+                        en,
+                        &rc.borrow().track,
+                        "cmd.write",
+                        &[("nvme_addr", nvme_addr), ("len", len)],
+                    )
+                } else {
+                    trace::SpanId::NONE
+                };
                 let sqe = Sqe::io(IoOpcode::Write, 0, nvme_addr / LBA, (len / LBA - 1) as u16);
                 (
                     sqe,
-                    CmdInfo::Write { region, xfer_id },
+                    CmdInfo::Write {
+                        region,
+                        xfer_id,
+                        span,
+                        issued_at,
+                    },
                     BufKind::Write,
                     region,
                     len,
@@ -1108,13 +1175,21 @@ fn try_issue(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
             .borrow_mut()
             .mem_mut()
             .write(slot_addr, &sqe.encode());
-        let tail = s.sq.advance_tail();
-        s.stats.cmds_issued += 1;
-        match kind {
-            BufKind::Read => s.stats.read_cmds += 1,
-            BufKind::Write => s.stats.write_cmds += 1,
+        if pages > 2 && trace::enabled() {
+            trace::instant(
+                en,
+                &s.track,
+                "prp.setup",
+                &[("cid", u64::from(cid)), ("pages", pages)],
+            );
         }
-        s.stats.doorbells += 1;
+        let tail = s.sq.advance_tail();
+        s.metrics.cmds_issued.inc();
+        match kind {
+            BufKind::Read => s.metrics.read_cmds.inc(),
+            BufKind::Write => s.metrics.write_cmds.inc(),
+        }
+        s.metrics.doorbells.inc();
         s.issuing = true;
         (
             tail,
@@ -1125,8 +1200,9 @@ fn try_issue(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
         )
     };
 
-    if std::env::var("SNACC_DBG_RD").is_ok() {
-        eprintln!("[{}] issue tail={}", en.now(), tail);
+    if trace::enabled() {
+        let track = rc.borrow().track.clone();
+        trace::instant(en, &track, "db.sq", &[("tail", u64::from(tail))]);
     }
     // Ring the SSD doorbell (P2P posted write).
     let _ = fabric
@@ -1150,7 +1226,7 @@ fn process_cq(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
         }
     }
     rc.borrow_mut().cq_busy = true;
-    rc.borrow_mut().stats.cq_events += 1;
+    rc.borrow().metrics.cq_events.inc();
     let mut reaped = 0u32;
     loop {
         let cqe = {
@@ -1173,14 +1249,15 @@ fn process_cq(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
             break;
         };
         reaped += 1;
-        if std::env::var("SNACC_DBG_RD").is_ok() {
-            eprintln!("[{}] cqe cid={}", en.now(), cqe.cid);
+        if trace::enabled() {
+            let track = rc.borrow().track.clone();
+            trace::instant(en, &track, "cqe", &[("cid", u64::from(cqe.cid))]);
         }
         let mut s = rc.borrow_mut();
-        s.stats.cqes_consumed += 1;
+        s.metrics.cqes_consumed.inc();
         let ok = cqe.status == snacc_nvme::spec::Status::Success;
         if !ok {
-            s.stats.errors += 1;
+            s.metrics.errors.inc();
         }
         s.rob.complete(cqe.cid, ok);
         let head = cqe.sq_head % s.sq.entries();
@@ -1199,6 +1276,10 @@ fn process_cq(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
             )
         };
         if db != 0 {
+            if trace::enabled() {
+                let track = rc.borrow().track.clone();
+                trace::instant(en, &track, "db.cq", &[("head", u64::from(head))]);
+            }
             let _ = fabric.borrow_mut().write_u32(en, node, db, head as u32);
         }
         try_retire(rc, en);
@@ -1240,9 +1321,19 @@ fn try_retire(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
                     if let Some(rf) = &s.regfile {
                         rf.borrow_mut().clear(cid);
                     }
-                    let CmdInfo::Write { region, xfer_id } = info else {
+                    let CmdInfo::Write {
+                        region,
+                        xfer_id,
+                        span,
+                        issued_at,
+                    } = info
+                    else {
                         unreachable!()
                     };
+                    trace::end(en, span);
+                    s.metrics
+                        .cmd_latency_us
+                        .record(en.now().since(issued_at).as_us_f64());
                     s.ring_mut(BufKind::Write).free_oldest(region);
                     let x = s.xfers.get_mut(&xfer_id).expect("xfer tracked");
                     x.outstanding_segments -= 1;
@@ -1264,6 +1355,7 @@ fn try_retire(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
                         region,
                         len,
                         last_of_xfer,
+                        ..
                     } = info
                     else {
                         unreachable!()
@@ -1308,7 +1400,7 @@ fn finish_xfers(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
         }
         let mut s = rc.borrow_mut();
         s.xfers.remove(&done_id);
-        s.stats.responses += 1;
+        s.metrics.responses.inc();
     }
 }
 
@@ -1336,9 +1428,19 @@ fn stream_out_step(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
                 if let Some(rf) = &s.regfile {
                     rf.borrow_mut().clear(cid);
                 }
-                let CmdInfo::Read { region, .. } = info else {
+                let CmdInfo::Read {
+                    region,
+                    span,
+                    issued_at,
+                    ..
+                } = info
+                else {
                     unreachable!()
                 };
+                trace::end(en, span);
+                s.metrics
+                    .cmd_latency_us
+                    .record(en.now().since(issued_at).as_us_f64());
                 s.rd_ring.free_oldest(region);
                 s.active_stream = None;
                 Next::Done
@@ -1356,7 +1458,7 @@ fn stream_out_step(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
                     let pos = st.issued;
                     st.issued += chunk;
                     let out = Next::Issue(st.region, pos, chunk, st.last_of_xfer, st.len);
-                    s.stats.bytes_to_pe += chunk;
+                    s.metrics.bytes_to_pe.add(chunk);
                     out
                 }
             } else {

@@ -195,10 +195,10 @@ fn multiple_sequential_writes_reuse_buffers() {
         let data = patterned(1 << 20, i);
         do_write(&mut sys, i << 20, &data);
     }
-    let st = sys.streamer.stats();
-    assert_eq!(st.write_cmds, 10);
-    assert_eq!(st.responses, 10);
-    assert_eq!(st.errors, 0);
+    let m = sys.streamer.metrics();
+    assert_eq!(m.write_cmds.get(), 10);
+    assert_eq!(m.responses.get(), 10);
+    assert_eq!(m.errors.get(), 0);
     // Verify a couple of extents on media.
     for i in [0u64, 7] {
         let expect = patterned(1 << 20, i);

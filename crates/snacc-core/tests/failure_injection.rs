@@ -74,7 +74,10 @@ fn iommu_revocation_produces_error_completions() {
     en.run();
     // Response token still arrives (protocol liveness under errors).
     assert!(axis::pop(&ports.wr_resp, &mut en).is_some());
-    assert!(streamer.stats().errors > 0, "error must be surfaced");
+    assert!(
+        streamer.metrics().errors.get() > 0,
+        "error must be surfaced"
+    );
     assert!(fabric.borrow_mut().iommu_mut().faults() > 0);
 }
 
@@ -111,7 +114,7 @@ fn read_after_revocation_still_streams() {
         }
     }
     assert_eq!(got, 8192, "full (zeroed) stream despite the fault");
-    assert!(streamer.stats().errors > 0);
+    assert!(streamer.metrics().errors.get() > 0);
 }
 
 #[test]
@@ -207,6 +210,6 @@ fn out_of_bounds_read_reports_lba_range_error() {
         }
     }
     assert!(done, "stream must terminate even on an OOB command");
-    assert!(streamer.stats().errors > 0);
+    assert!(streamer.metrics().errors.get() > 0);
     assert_eq!(nvme.stats().errors, 1);
 }

@@ -9,6 +9,7 @@
 //! than cycle granularity.
 
 use snacc_sim::Engine;
+use snacc_trace as trace;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -56,6 +57,11 @@ pub struct AxisChannel {
     space_hook: Option<Hook>,
     total_beats: u64,
     total_bytes: u64,
+    /// A producer was refused for lack of space and no pop has freed
+    /// space since — the channel is exerting backpressure. Tracked so the
+    /// tracer records stall *transitions* (two events per episode) rather
+    /// than per-beat noise.
+    stalled: bool,
 }
 
 impl AxisChannel {
@@ -71,6 +77,7 @@ impl AxisChannel {
             space_hook: None,
             total_beats: 0,
             total_bytes: 0,
+            stalled: false,
         }))
     }
 
@@ -132,6 +139,20 @@ pub fn push(rc: &Rc<RefCell<AxisChannel>>, en: &mut Engine, beat: StreamBeat) ->
     let hook = {
         let mut c = rc.borrow_mut();
         if !c.has_space(beat.len()) {
+            if !c.stalled {
+                c.stalled = true;
+                if trace::enabled() {
+                    trace::instant(
+                        en,
+                        &format!("axis.{}", c.name),
+                        "axis.stall",
+                        &[
+                            ("occupancy", c.queued_bytes),
+                            ("refused_bytes", beat.len() as u64),
+                        ],
+                    );
+                }
+            }
             return false;
         }
         c.queued_bytes += beat.len() as u64;
@@ -152,6 +173,17 @@ pub fn pop(rc: &Rc<RefCell<AxisChannel>>, en: &mut Engine) -> Option<StreamBeat>
         let mut c = rc.borrow_mut();
         let beat = c.queue.pop_front()?;
         c.queued_bytes -= beat.len() as u64;
+        if c.stalled {
+            c.stalled = false;
+            if trace::enabled() {
+                trace::instant(
+                    en,
+                    &format!("axis.{}", c.name),
+                    "axis.resume",
+                    &[("occupancy", c.queued_bytes)],
+                );
+            }
+        }
         (beat, c.space_hook.clone())
     };
     if let Some(h) = hook {

@@ -14,6 +14,7 @@
 //! | SL004 | no panic paths (`unwrap`/`expect`/`panic!`/asserts) in wire-decode modules |
 //! | SL005 | no raw `u64` picosecond arithmetic outside `snacc-sim` (use `SimTime`/`SimDuration`) |
 //! | SL006 | no `RefCell` borrow guard held across an `Engine::schedule` call |
+//! | SL007 | no `println!`/`eprintln!` in model crates — observability goes through `snacc-trace` |
 //!
 //! The analysis is deliberately line/token-level (comments, string
 //! literals, and `#[cfg(test)]` modules are masked before matching): it

@@ -51,6 +51,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no RefCell borrow guard held across an Engine::schedule call (borrow-across-event hazard)",
         scope: "all simulation crates (everything except snacc-bench and snacc-lint)",
     },
+    RuleInfo {
+        id: "SL007",
+        summary: "no println!/eprintln! in model crates — observability goes through snacc-trace",
+        scope: "all simulation crates (non-test code; tests/examples exempt)",
+    },
 ];
 
 /// Wire-decode modules subject to SL004.
@@ -314,6 +319,7 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
     sl004(&ctx, &mut out);
     sl005(&ctx, &mut out);
     sl006(&ctx, &mut out);
+    sl007(&ctx, &mut out);
     out
 }
 
@@ -537,6 +543,41 @@ fn sl006(ctx: &FileCtx, out: &mut Vec<Violation>) {
     }
 }
 
+/// True when `line` contains `token` not preceded by an identifier
+/// character (so `println!` inside `eprintln!` does not double-match).
+fn find_macro_token(line: &str, token: &str) -> bool {
+    let b = line.as_bytes();
+    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(token) {
+        let at = start + pos;
+        if at == 0 || !is_ident(b[at - 1]) {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+fn sl007(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !is_sim_crate(ctx.krate) {
+        return;
+    }
+    const PRINT_TOKENS: &[&str] = &["println!", "eprintln!", "print!", "eprint!"];
+    for (i, line) in ctx.clean_lines.iter().enumerate() {
+        if ctx.in_test[i] || ctx.in_test_dir {
+            continue;
+        }
+        if let Some(tok) = PRINT_TOKENS.iter().find(|t| find_macro_token(line, t)) {
+            out.push(ctx.violation(
+                "SL007",
+                i,
+                format!("`{tok}` in a model crate; emit a snacc-trace span/instant/metric instead"),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -626,6 +667,28 @@ fn f(&mut self, engine: &mut Engine) {
         let src = "fn d(b: &[u8]) { let x = b.first().unwrap(); }\n";
         assert_eq!(scan_source("crates/snacc-nvme/src/spec.rs", src).len(), 1);
         assert!(scan_source("crates/snacc-nvme/src/queue.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sl007_print_macros_in_model_crates() {
+        let src = "fn f() { println!(\"x\"); eprint!(\"y\"); }\n";
+        let v = scan_source("crates/snacc-core/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "SL007");
+        // Harness crates, tests dirs and examples are exempt.
+        assert!(scan_source("crates/snacc-bench/src/x.rs", src).is_empty());
+        assert!(scan_source("crates/snacc-core/tests/x.rs", src).is_empty());
+        assert!(scan_source("examples/quickstart.rs", src).is_empty());
+        // `#[cfg(test)]` regions are exempt too.
+        let gated = "#[cfg(test)]\nmod tests {\n    fn t() { println!(\"x\"); }\n}\n";
+        assert!(scan_source("crates/snacc-core/src/x.rs", gated).is_empty());
+        // `eprintln!` must not double-report as `println!`.
+        let e = scan_source(
+            "crates/snacc-core/src/x.rs",
+            "fn f() { eprintln!(\"x\"); }\n",
+        );
+        assert_eq!(e.len(), 1);
+        assert!(e[0].message.contains("eprintln!"), "{e:?}");
     }
 
     #[test]

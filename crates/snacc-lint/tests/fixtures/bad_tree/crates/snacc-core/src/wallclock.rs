@@ -1,10 +1,12 @@
-// Fixture: SL001 (wall-clock time) and SL003 (sync primitive) in a
-// simulation crate. Not compiled — scanned by the lint integration tests.
+// Fixture: SL001 (wall-clock time), SL003 (sync primitive) and SL007
+// (print macro) in a simulation crate. Not compiled — scanned by the
+// lint integration tests.
 
 use std::time::Instant;
 
 pub fn elapsed_since_boot() -> u64 {
     let start = Instant::now();
+    println!("booted");
     start.elapsed().as_nanos() as u64
 }
 

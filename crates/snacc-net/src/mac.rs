@@ -8,6 +8,7 @@
 
 use crate::frame::{pause_duration, EthFrame, MacAddr};
 use snacc_sim::{Bandwidth, Engine, SharedLink, SimDuration, SimRng, SimTime};
+use snacc_trace as trace;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -331,6 +332,20 @@ pub fn pump_tx(rc: &Rc<RefCell<EthMac>>, en: &mut Engine) {
                 let mut m = rc.borrow_mut();
                 let arrival = m.wire.transfer(en.now(), frame.wire_bytes());
                 let tx_free = arrival - m.cfg.wire_latency;
+                if trace::enabled() {
+                    let name = if frame.is_pause() {
+                        "eth.pause_tx"
+                    } else {
+                        "eth.tx"
+                    };
+                    trace::span_between(
+                        &format!("net.{}", m.name),
+                        name,
+                        en.now(),
+                        arrival,
+                        &[("wire_bytes", frame.wire_bytes())],
+                    );
+                }
                 (arrival, tx_free, m.peer.clone(), m.tx_space_hook.clone())
             };
             // TX side becomes free when the last byte leaves.
@@ -364,10 +379,26 @@ fn deliver(rc: &Rc<RefCell<EthMac>>, en: &mut Engine, frame: EthFrame) {
         let crc_rate = m.cfg.crc_error_rate;
         if crc_rate > 0.0 && m.rng.gen_bool(crc_rate) {
             m.stats.crc_drops += 1;
+            if trace::enabled() {
+                trace::instant(
+                    en,
+                    &format!("net.{}", m.name),
+                    "eth.crc_drop",
+                    &[("bytes", frame.frame_bytes())],
+                );
+            }
             return;
         }
         if let Some(quanta) = frame.pause_quanta() {
             m.stats.pauses_received += 1;
+            if trace::enabled() {
+                trace::instant(
+                    en,
+                    &format!("net.{}", m.name),
+                    "eth.pause_rx",
+                    &[("quanta", quanta as u64)],
+                );
+            }
             if m.cfg.flow_control {
                 let dur = pause_duration(quanta, m.cfg.line_rate.bytes_per_sec() * 8.0);
                 let new_until = en.now() + dur;
@@ -385,12 +416,28 @@ fn deliver(rc: &Rc<RefCell<EthMac>>, en: &mut Engine, frame: EthFrame) {
             let cost = frame.frame_bytes();
             if m.rx_buffered_bytes + cost > m.cfg.rx_buffer_bytes {
                 m.stats.rx_drops += 1;
+                if trace::enabled() {
+                    trace::instant(
+                        en,
+                        &format!("net.{}", m.name),
+                        "eth.rx_drop",
+                        &[("bytes", cost), ("occupancy", m.rx_buffered_bytes)],
+                    );
+                }
                 RxAction::None
             } else {
                 m.rx_buffered_bytes += cost;
                 m.stats.rx_frames += 1;
                 m.stats.rx_payload_bytes += frame.payload.len() as u64;
                 m.rx_queue.push_back(frame);
+                if trace::enabled() {
+                    trace::instant(
+                        en,
+                        &format!("net.{}", m.name),
+                        "eth.rx",
+                        &[("bytes", cost), ("occupancy", m.rx_buffered_bytes)],
+                    );
+                }
                 if m.cfg.flow_control && m.rx_buffered_bytes >= m.cfg.pause_hi_watermark {
                     // Assert (or refresh) the pause. Refresh is rate-limited
                     // to half the pause duration so a long-stalled sink

@@ -22,6 +22,7 @@ use snacc_mem::AddrRange;
 use snacc_pcie::{MmioTarget, NodeId, PcieFabric, HOST_NODE};
 use snacc_sim::stats::Counter;
 use snacc_sim::{Engine, SimDuration, SimTime};
+use snacc_trace as trace;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
@@ -61,8 +62,18 @@ struct QueuePair {
     /// Completions deferred because the CQ ring is full (consumer
     /// overrun protection — a real controller must not overwrite
     /// unacknowledged CQEs).
-    pending_cqes: VecDeque<(u16, Status, u32)>,
+    pending_cqes: VecDeque<CqeOut>,
     pumping: bool,
+}
+
+/// A completion in flight towards the CQ: the CQE payload fields plus the
+/// command's trace span, which closes when the CQE write lands.
+#[derive(Clone, Copy)]
+struct CqeOut {
+    cid: u16,
+    status: Status,
+    result: u32,
+    span: trace::SpanId,
 }
 
 impl QueuePair {
@@ -451,35 +462,20 @@ fn pump_queue(rc: Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16) {
     }
 }
 
-/// Write a completion for `(qid, cid)` no earlier than `t`. The CQE write
-/// is deferred to an event at `t` so completions book the wire in true
-/// time order — a command that finishes earlier gets its CQE out earlier,
-/// regardless of submission order.
-fn complete(
-    rc: &Rc<RefCell<NvmeDevice>>,
-    en: &mut Engine,
-    t: SimTime,
-    qid: u16,
-    cid: u16,
-    status: Status,
-    result: u32,
-) {
+/// Write a completion for `(qid, out.cid)` no earlier than `t`. The CQE
+/// write is deferred to an event at `t` so completions book the wire in
+/// true time order — a command that finishes earlier gets its CQE out
+/// earlier, regardless of submission order.
+fn complete(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, t: SimTime, qid: u16, out: CqeOut) {
     let rc2 = rc.clone();
     en.schedule_at(t.max(en.now()), move |en| {
-        complete_now(&rc2, en, qid, cid, status, result);
+        complete_now(&rc2, en, qid, out);
     });
 }
 
 /// Perform the CQE write at the current time, deferring when the CQ ring
 /// has no acknowledged space.
-fn complete_now(
-    rc: &Rc<RefCell<NvmeDevice>>,
-    en: &mut Engine,
-    qid: u16,
-    cid: u16,
-    status: Status,
-    result: u32,
-) {
+fn complete_now(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16, out: CqeOut) {
     let (fabric, node, addr, cqe);
     {
         let mut d = rc.borrow_mut();
@@ -487,20 +483,20 @@ fn complete_now(
             return;
         };
         if q.cq_full() {
-            q.pending_cqes.push_back((cid, status, result));
+            q.pending_cqes.push_back(out);
             return;
         }
         q.cq_outstanding += 1;
-        let is_err = status != Status::Success;
+        let is_err = out.status != Status::Success;
         let (slot, phase) = q.cq.next_slot();
         debug_assert!(slot < q.cq_entries);
         cqe = Cqe {
-            result,
+            result: out.result,
             sq_head: q.sq_head,
             sq_id: qid,
-            cid,
+            cid: out.cid,
             phase,
-            status,
+            status: out.status,
         };
         addr = q.cq_base + slot as u64 * spec::CQE_BYTES;
         if is_err {
@@ -518,6 +514,8 @@ fn complete_now(
         fab.write(en, node, addr, &bytes)
     };
     if let Ok(arrival) = arrival {
+        // The command's SQE→CQE span closes when the CQE lands.
+        trace::end_at(arrival, out.span);
         // Pin the event clock to the completion so `Engine::run` covers the
         // full command lifetime even when nobody is hooked on the CQ.
         en.schedule_at(arrival, |_| {});
@@ -538,8 +536,8 @@ fn flush_pending_cqes(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16) {
             q.pending_cqes.pop_front()
         };
         match next {
-            Some((cid, status, result)) => {
-                complete_now(rc, en, qid, cid, status, result);
+            Some(out) => {
+                complete_now(rc, en, qid, out);
             }
             None => return,
         }
@@ -557,6 +555,17 @@ fn exec_command(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16, sqe: Sq
 fn exec_admin(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, sqe: Sqe) {
     use crate::spec::AdminOpcode as A;
     let now = en.now();
+    let span = if trace::enabled() {
+        let node = rc.borrow().node;
+        trace::begin(
+            en,
+            &format!("nvme.n{}", node.0),
+            "nvme.admin",
+            &[("cid", sqe.cid as u64), ("opc", sqe.opcode as u64)],
+        )
+    } else {
+        trace::SpanId::NONE
+    };
     let mut status = Status::Success;
     let mut result: u32 = 0;
     let mut t_done = now + SimDuration::from_us(1); // admin processing time
@@ -624,7 +633,18 @@ fn exec_admin(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, sqe: Sqe) {
     }
 
     rc.borrow_mut().stats.admin_cmds += 1;
-    complete(rc, en, t_done, 0, sqe.cid, status, result);
+    complete(
+        rc,
+        en,
+        t_done,
+        0,
+        CqeOut {
+            cid: sqe.cid,
+            status,
+            result,
+            span,
+        },
+    );
 }
 
 /// Resolve a command's PRPs, fetching list pages over the fabric.
@@ -662,8 +682,38 @@ fn resolve_prps(
 fn exec_io(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16, sqe: Sqe) {
     let now = en.now();
     let Some(op) = IoOpcode::from_u8(sqe.opcode) else {
-        complete(rc, en, now, qid, sqe.cid, Status::InvalidOpcode, 0);
+        let out = CqeOut {
+            cid: sqe.cid,
+            status: Status::InvalidOpcode,
+            result: 0,
+            span: trace::SpanId::NONE,
+        };
+        complete(rc, en, now, qid, out);
         return;
+    };
+
+    // SQE→CQE lifetime span: opens when execution starts, closes in
+    // `complete_now` when the CQE write lands.
+    let span = if trace::enabled() {
+        let node = rc.borrow().node;
+        let name = match op {
+            IoOpcode::Read => "nvme.read",
+            IoOpcode::Write => "nvme.write",
+            IoOpcode::Flush => "nvme.flush",
+        };
+        trace::begin(
+            en,
+            &format!("nvme.n{}", node.0),
+            name,
+            &[
+                ("qid", qid as u64),
+                ("cid", sqe.cid as u64),
+                ("slba", sqe.slba()),
+                ("len", sqe.byte_len()),
+            ],
+        )
+    } else {
+        trace::SpanId::NONE
     };
 
     if op == IoOpcode::Flush {
@@ -671,7 +721,13 @@ fn exec_io(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16, sqe: Sqe) {
             let mut d = rc.borrow_mut();
             d.nand.flush(now)
         };
-        complete(rc, en, t, qid, sqe.cid, Status::Success, 0);
+        let out = CqeOut {
+            cid: sqe.cid,
+            status: Status::Success,
+            result: 0,
+            span,
+        };
+        complete(rc, en, t, qid, out);
         return;
     }
 
@@ -679,14 +735,26 @@ fn exec_io(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16, sqe: Sqe) {
     let byte_len = sqe.byte_len();
     let in_bounds = rc.borrow().nand.in_bounds(byte_addr, byte_len);
     if !in_bounds {
-        complete(rc, en, now, qid, sqe.cid, Status::LbaOutOfRange, 0);
+        let out = CqeOut {
+            cid: sqe.cid,
+            status: Status::LbaOutOfRange,
+            result: 0,
+            span,
+        };
+        complete(rc, en, now, qid, out);
         return;
     }
 
     let (segs, t_prp) = match resolve_prps(rc, en, &sqe, byte_len) {
         Ok(x) => x,
         Err(status) => {
-            complete(rc, en, now, qid, sqe.cid, status, 0);
+            let out = CqeOut {
+                cid: sqe.cid,
+                status,
+                result: 0,
+                span,
+            };
+            complete(rc, en, now, qid, out);
             return;
         }
     };
@@ -695,6 +763,18 @@ fn exec_io(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16, sqe: Sqe) {
         let d = rc.borrow();
         (d.fabric.clone(), d.node)
     };
+
+    // PRP list pages were fetched over the fabric (SNAcc's on-the-fly
+    // PRP synthesis feeds exactly these fetches) — worth its own span.
+    if trace::enabled() && t_prp > now {
+        trace::span_between(
+            &format!("nvme.n{}", node.0),
+            "nvme.prp_fetch",
+            now,
+            t_prp,
+            &[("segs", segs.len() as u64)],
+        );
+    }
 
     match op {
         IoOpcode::Read => {
@@ -707,6 +787,15 @@ fn exec_io(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16, sqe: Sqe) {
                 let mut d = rc.borrow_mut();
                 d.nand.read(t_prp, byte_addr, &mut data)
             };
+            if trace::enabled() {
+                trace::span_between(
+                    &format!("nvme.n{}", node.0),
+                    "nand.read",
+                    t_prp,
+                    t_media,
+                    &[("bytes", byte_len)],
+                );
+            }
             let rc2 = rc.clone();
             let cid = sqe.cid;
             en.schedule_at(t_media.max(en.now()), move |en| {
@@ -757,7 +846,13 @@ fn exec_io(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16, sqe: Sqe) {
                     d.stats.read_bytes += byte_len;
                     Status::Success
                 };
-                complete(&rc2, en, t, qid, cid, status, 0);
+                let out = CqeOut {
+                    cid,
+                    status,
+                    result: 0,
+                    span,
+                };
+                complete(&rc2, en, t, qid, out);
             });
         }
         IoOpcode::Write => {
@@ -823,7 +918,13 @@ fn exec_io(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16, sqe: Sqe) {
                 off += seg.len as usize;
             }
             if failed {
-                complete(rc, en, t_data, qid, sqe.cid, Status::DataTransferError, 0);
+                let out = CqeOut {
+                    cid: sqe.cid,
+                    status: Status::DataTransferError,
+                    result: 0,
+                    span,
+                };
+                complete(rc, en, t_data, qid, out);
                 return;
             }
             // Cache admission happens when the data has arrived; the CQE
@@ -841,7 +942,22 @@ fn exec_io(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16, sqe: Sqe) {
                     d.stats.write_bytes += byte_len;
                     t
                 };
-                complete(&rc2, en, t_admit, qid, cid, Status::Success, 0);
+                if trace::enabled() {
+                    trace::span_between(
+                        &format!("nvme.n{}", node.0),
+                        "nand.write",
+                        en.now(),
+                        t_admit,
+                        &[("bytes", byte_len)],
+                    );
+                }
+                let out = CqeOut {
+                    cid,
+                    status: Status::Success,
+                    result: 0,
+                    span,
+                };
+                complete(&rc2, en, t_admit, qid, out);
             });
         }
         IoOpcode::Flush => unreachable!(),

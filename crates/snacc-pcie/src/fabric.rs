@@ -24,6 +24,8 @@ pub const CTRL_TLP_BYTES: u64 = 512;
 use snacc_mem::{AddrRange, AddressMap};
 use snacc_sim::stats::ByteMeter;
 use snacc_sim::{Engine, SharedLink, SimDuration, SimTime};
+use snacc_trace as trace;
+use snacc_trace::MeterHandle;
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -101,6 +103,8 @@ pub struct PcieFabric {
     /// Payload bytes per *transaction* (counted once, not per link) — the
     /// paper's Fig 7 "data transfers over the PCIe bus" metric.
     payload: ByteMeter,
+    /// Registry mirror of `payload` (`pcie.payload` in metrics snapshots).
+    payload_meter: MeterHandle,
 }
 
 impl Default for PcieFabric {
@@ -119,6 +123,7 @@ impl PcieFabric {
             iommu: Iommu::passthrough(),
             rc_forward: SimDuration::from_ns(100),
             payload: ByteMeter::new(),
+            payload_meter: trace::metric_meter("pcie.payload"),
         }
     }
 
@@ -197,6 +202,7 @@ impl PcieFabric {
             d.down.reset_meter();
         }
         self.payload = ByteMeter::new();
+        self.payload_meter.reset();
     }
 
     fn mps_for(&self, a: NodeId, b: NodeId) -> u64 {
@@ -263,6 +269,7 @@ impl PcieFabric {
         let p2p = requester != HOST_NODE && target_node != HOST_NODE;
         let mps = self.mps_for(requester, target_node);
         self.payload.record(len);
+        self.payload_meter.record(len);
 
         // Request phase: header-only TLP towards the target (control
         // traffic: interleaves, never queues behind bulk data).
@@ -308,6 +315,22 @@ impl PcieFabric {
                 l.transfer(t, wire)
             };
         }
+        // Bulk transfers (control TLPs would swamp the trace) get an
+        // issue→completion span on the requesting device's track.
+        if !small && trace::enabled() {
+            let dev = if requester != HOST_NODE {
+                requester
+            } else {
+                target_node
+            };
+            trace::span_between(
+                &format!("pcie.{}", self.devices[dev.0 - 1].name),
+                "tlp.read",
+                start,
+                t,
+                &[("addr", addr), ("len", len)],
+            );
+        }
         Ok(t)
     }
 
@@ -345,6 +368,7 @@ impl PcieFabric {
         let wire = wire_bytes(len, mps);
         let small = len <= CTRL_TLP_BYTES;
         self.payload.record(len);
+        self.payload_meter.record(len);
 
         let mut t = start;
         if requester != HOST_NODE {
@@ -367,7 +391,22 @@ impl PcieFabric {
             };
         }
         let service = target.borrow_mut().write(en, t, offset, data);
-        Ok(t + service)
+        let done = t + service;
+        if !small && trace::enabled() {
+            let dev = if requester != HOST_NODE {
+                requester
+            } else {
+                target_node
+            };
+            trace::span_between(
+                &format!("pcie.{}", self.devices[dev.0 - 1].name),
+                "tlp.write",
+                start,
+                done,
+                &[("addr", addr), ("len", len)],
+            );
+        }
+        Ok(done)
     }
 
     /// Convenience: 32-bit register read (host driver MMIO).

@@ -8,6 +8,53 @@
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
+
+/// A non-panicking engine failure, produced by [`Engine::try_step`] /
+/// [`Engine::try_run`]. Carries enough of the pending-queue state for a
+/// diagnosis (observability layers can dump it without re-borrowing the
+/// engine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The run executed more events than the configured safety valve
+    /// allows — almost always an accidental infinite self-rescheduling
+    /// loop in a model.
+    EventLimit {
+        /// The configured limit that was exceeded.
+        limit: u64,
+        /// Simulated time at which the limit tripped.
+        now: SimTime,
+        /// Events still pending when the run stopped.
+        pending: usize,
+        /// `(time, seq)` of the next event that would have run, if any.
+        head: Option<(SimTime, u64)>,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::EventLimit {
+                limit,
+                now,
+                pending,
+                head,
+            } => {
+                write!(
+                    f,
+                    "simulation exceeded event limit ({limit}) at {now} — runaway model? \
+                     {pending} events pending"
+                )?;
+                if let Some((t, seq)) = head {
+                    write!(f, ", next at {t} (seq {seq})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// A scheduled event: a closure to run at a point in simulated time.
 struct Scheduled {
@@ -84,6 +131,14 @@ impl Engine {
         self.executed
     }
 
+    /// Number of events scheduled so far (the next insertion sequence
+    /// number). Deterministic across runs; useful as an ID source for
+    /// trace/telemetry layers that must never touch wall clocks.
+    #[inline]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
     /// Number of events currently pending.
     #[inline]
     pub fn pending(&self) -> usize {
@@ -125,26 +180,50 @@ impl Engine {
         self.schedule_at(self.now, f);
     }
 
-    /// Execute the next event, advancing the clock. Returns `false` when
-    /// the queue is empty.
-    pub fn step(&mut self) -> bool {
+    /// Execute the next event, advancing the clock. Returns `Ok(false)`
+    /// when the queue is empty and `Err(EngineError::EventLimit)` — with
+    /// the pending queue left intact for inspection — when the safety
+    /// valve trips.
+    pub fn try_step(&mut self) -> Result<bool, EngineError> {
+        if self.executed >= self.event_limit {
+            if let Some(head) = self.queue.peek() {
+                return Err(EngineError::EventLimit {
+                    limit: self.event_limit,
+                    now: self.now,
+                    pending: self.queue.len(),
+                    head: Some((head.time, head.seq)),
+                });
+            }
+        }
         let Some(ev) = self.queue.pop() else {
-            return false;
+            return Ok(false);
         };
         debug_assert!(ev.time >= self.now);
         self.now = ev.time;
         self.executed += 1;
-        if self.executed > self.event_limit {
-            panic!(
-                "simulation exceeded event limit ({}) at {} — runaway model?",
-                self.event_limit, self.now
-            );
-        }
         (ev.f)(self);
-        true
+        Ok(true)
     }
 
-    /// Run until the event queue drains; returns the final time.
+    /// Execute the next event, advancing the clock. Returns `false` when
+    /// the queue is empty. Panics if the event limit trips; use
+    /// [`Engine::try_step`] for a recoverable diagnosis.
+    pub fn step(&mut self) -> bool {
+        match self.try_step() {
+            Ok(progressed) => progressed,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Run until the event queue drains; returns the final time, or
+    /// `Err(EngineError::EventLimit)` with the pending queue preserved.
+    pub fn try_run(&mut self) -> Result<SimTime, EngineError> {
+        while self.try_step()? {}
+        Ok(self.now)
+    }
+
+    /// Run until the event queue drains; returns the final time. Panics
+    /// if the event limit trips; use [`Engine::try_run`] to recover.
     pub fn run(&mut self) -> SimTime {
         while self.step() {}
         self.now
@@ -290,5 +369,41 @@ mod tests {
         }
         en.schedule_now(forever);
         en.run();
+    }
+
+    #[test]
+    fn try_run_reports_event_limit_with_queue_intact() {
+        let mut en = Engine::new();
+        en.set_event_limit(100);
+        fn forever(en: &mut Engine) {
+            en.schedule_in(SimDuration::from_ns(1), forever);
+        }
+        en.schedule_now(forever);
+        let err = en.try_run().unwrap_err();
+        let EngineError::EventLimit {
+            limit,
+            now,
+            pending,
+            head,
+        } = err.clone();
+        assert_eq!(limit, 100);
+        assert_eq!(en.events_executed(), 100);
+        // The event that would have run next is still queued, not consumed.
+        assert_eq!(pending, 1);
+        assert_eq!(en.pending(), 1);
+        let (head_t, _seq) = head.expect("head event");
+        assert!(head_t >= now);
+        assert!(err.to_string().contains("event limit"));
+        // try_step keeps failing rather than silently resuming.
+        assert!(en.try_step().is_err());
+    }
+
+    #[test]
+    fn seq_counts_scheduled_events() {
+        let mut en = Engine::new();
+        assert_eq!(en.seq(), 0);
+        en.schedule_now(|_| {});
+        en.schedule_in(SimDuration::from_ns(1), |_| {});
+        assert_eq!(en.seq(), 2);
     }
 }

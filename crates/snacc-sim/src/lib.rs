@@ -44,7 +44,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::Engine;
+pub use engine::{Engine, EngineError};
 pub use link::{Bandwidth, SharedLink};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,201 @@
+//! Chrome `trace_event` JSON export, loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! Mapping:
+//! * every tracer track becomes a "thread" (`pid` 1, `tid` = track + 1)
+//!   named via `thread_name` metadata events;
+//! * spans are emitted as *async nestable* pairs (`ph:"b"` / `ph:"e"`)
+//!   keyed by the span id — async events tolerate the overlapping,
+//!   out-of-order completions an ROB produces, which the synchronous
+//!   `B`/`E` stack model does not;
+//! * instants are `ph:"i"` with thread scope, counters are `ph:"C"`;
+//! * timestamps are fractional microseconds of simulated time.
+//!
+//! Events are sorted by `(SimTime, record seq)` before emission, so the
+//! output is byte-identical across runs of the same seed/configuration.
+
+use crate::tracer::{TraceEvent, Tracer};
+use serde_json::{Map, Value};
+
+const PID: u64 = 1;
+
+fn base(ph: &str, name: &str, tid: u64, ts: f64) -> Map {
+    let mut m = Map::new();
+    m.insert("ph", Value::from(ph));
+    m.insert("name", Value::from(name));
+    m.insert("pid", Value::from(PID));
+    m.insert("tid", Value::from(tid));
+    m.insert("ts", Value::from(ts));
+    m
+}
+
+fn args_obj(args: &[(&'static str, u64)]) -> Value {
+    let mut m = Map::new();
+    for (k, v) in args {
+        m.insert(*k, Value::from(*v));
+    }
+    Value::Object(m)
+}
+
+fn span_id_str(span: u64) -> String {
+    format!("0x{span:x}")
+}
+
+/// Render the tracer's buffer as a Chrome `trace_event` JSON document.
+pub fn export_chrome_trace(tracer: &Tracer) -> String {
+    let inner = tracer.inner.borrow();
+    let mut events: Vec<Value> = Vec::with_capacity(inner.events.len() + inner.tracks.len() + 1);
+
+    // Thread-name metadata first: one per track, in registration order.
+    for (id, name) in inner.tracks.iter().enumerate() {
+        let mut m = Map::new();
+        m.insert("ph", Value::from("M"));
+        m.insert("name", Value::from("thread_name"));
+        m.insert("pid", Value::from(PID));
+        m.insert("tid", Value::from(id as u64 + 1));
+        let mut args = Map::new();
+        args.insert("name", Value::from(name.as_str()));
+        m.insert("args", Value::Object(args));
+        events.push(Value::Object(m));
+    }
+
+    let mut ordered: Vec<&TraceEvent> = inner.events.iter().collect();
+    ordered.sort_by_key(|ev| ev.key());
+
+    for ev in ordered {
+        let v = match ev {
+            TraceEvent::Begin {
+                t,
+                track,
+                name,
+                span,
+                args,
+                ..
+            } => {
+                let mut m = base("b", name, *track as u64 + 1, t.as_us_f64());
+                m.insert("cat", Value::from("snacc"));
+                m.insert("id", Value::from(span_id_str(*span)));
+                if !args.is_empty() {
+                    m.insert("args", args_obj(args));
+                }
+                m
+            }
+            TraceEvent::End {
+                t,
+                track,
+                name,
+                span,
+                ..
+            } => {
+                let mut m = base("e", name, *track as u64 + 1, t.as_us_f64());
+                m.insert("cat", Value::from("snacc"));
+                m.insert("id", Value::from(span_id_str(*span)));
+                m
+            }
+            TraceEvent::Mark {
+                t,
+                track,
+                name,
+                args,
+                ..
+            } => {
+                let mut m = base("i", name, *track as u64 + 1, t.as_us_f64());
+                m.insert("cat", Value::from("snacc"));
+                m.insert("s", Value::from("t"));
+                if !args.is_empty() {
+                    m.insert("args", args_obj(args));
+                }
+                m
+            }
+            TraceEvent::Counter {
+                t,
+                track,
+                name,
+                value,
+                ..
+            } => {
+                let mut m = base("C", name, *track as u64 + 1, t.as_us_f64());
+                let mut args = Map::new();
+                args.insert("value", Value::from(*value));
+                m.insert("args", Value::Object(args));
+                m
+            }
+        };
+        events.push(Value::Object(v));
+    }
+
+    let mut root = Map::new();
+    root.insert("traceEvents", Value::Array(events));
+    root.insert("displayTimeUnit", Value::from("ns"));
+    if inner.dropped > 0 {
+        root.insert("snaccDroppedEvents", Value::from(inner.dropped));
+    }
+    serde_json::to_string(&Value::Object(root))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{begin, end, install, instant, span_between, uninstall};
+    use snacc_sim::{Engine, SimDuration, SimTime};
+
+    fn sample_run() -> String {
+        let tracer = Tracer::new();
+        install(tracer.clone());
+        let mut en = Engine::new();
+        let span = begin(&en, "dev", "cmd", &[("len", 4096)]);
+        en.schedule_in(SimDuration::from_ns(100), move |en| {
+            instant(en, "dev", "doorbell", &[("tail", 1)]);
+            end(en, span);
+        });
+        en.run();
+        span_between(
+            "link",
+            "xfer",
+            SimTime::from_ns(10),
+            SimTime::from_ns(50),
+            &[("bytes", 512)],
+        );
+        uninstall();
+        export_chrome_trace(&tracer)
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_phases() {
+        let text = sample_run();
+        let doc = serde_json::from_str(&text).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(|p| p.as_str()))
+            .collect();
+        // 2 thread_name metadata + b/e for "cmd", i, b/e for "xfer".
+        assert_eq!(phases.iter().filter(|p| **p == "M").count(), 2);
+        assert_eq!(phases.iter().filter(|p| **p == "b").count(), 2);
+        assert_eq!(phases.iter().filter(|p| **p == "e").count(), 2);
+        assert_eq!(phases.iter().filter(|p| **p == "i").count(), 1);
+    }
+
+    #[test]
+    fn events_sorted_by_time_after_out_of_order_recording() {
+        let text = sample_run();
+        let doc = serde_json::from_str(&text).unwrap();
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        let ts: Vec<f64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) != Some("M"))
+            .filter_map(|e| e.get("ts").and_then(|t| t.as_f64()))
+            .collect();
+        // The span_between at 10ns..50ns was recorded after the 100ns
+        // events but must appear in time order.
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "ts not sorted: {ts:?}");
+    }
+
+    #[test]
+    fn identical_runs_export_identical_bytes() {
+        assert_eq!(sample_run(), sample_run());
+    }
+}

@@ -1,0 +1,448 @@
+//! The deterministic tracer: spans, instants and counter samples keyed by
+//! `(SimTime, record sequence, track)`.
+//!
+//! Every identifier is derived from monotonically increasing counters that
+//! advance in event-execution order — which the engine guarantees is
+//! deterministic — so two runs with the same seed and configuration
+//! produce bit-identical traces. No wall clocks, no addresses, no hashing
+//! of unordered containers.
+//!
+//! The tracer is installed into a thread-local slot ([`install`]) because
+//! the whole simulation is single-threaded by design; model code checks
+//! [`enabled`] — a plain `Cell<bool>` read — before doing any argument
+//! formatting, which keeps the disabled path free of allocation.
+
+use snacc_sim::engine::EngineError;
+use snacc_sim::{Engine, SimTime};
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Identifier of an open span. `SpanId::NONE` (the zero value) is inert:
+/// ending it is a no-op, so models can unconditionally store span IDs in
+/// their command state even when tracing is disabled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SpanId(pub(crate) u64);
+
+impl SpanId {
+    /// The inert span: produced when tracing is disabled, ignored by
+    /// [`end`] / [`end_at`].
+    pub const NONE: SpanId = SpanId(0);
+
+    /// True for the inert span.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Key/value annotations attached to an event. Values are `u64` so sites
+/// never format strings on the hot path.
+pub type Args = Vec<(&'static str, u64)>;
+
+/// One recorded trace event. `seq` is the tracer-local record sequence —
+/// the total order in which events were recorded, used as the
+/// deterministic tie-break when sorting by time at export.
+#[derive(Clone, Debug)]
+pub enum TraceEvent {
+    /// Span open (Chrome `ph:"b"`).
+    Begin {
+        /// Simulated time of the open.
+        t: SimTime,
+        /// Tracer-local record sequence.
+        seq: u64,
+        /// Track the span lives on.
+        track: u32,
+        /// Span name.
+        name: &'static str,
+        /// Span identifier (matches the `End`).
+        span: u64,
+        /// Annotations.
+        args: Args,
+    },
+    /// Span close (Chrome `ph:"e"`).
+    End {
+        /// Simulated time of the close.
+        t: SimTime,
+        /// Tracer-local record sequence.
+        seq: u64,
+        /// Track the span lives on.
+        track: u32,
+        /// Span name (must match the `Begin`).
+        name: &'static str,
+        /// Span identifier.
+        span: u64,
+    },
+    /// A point event (Chrome `ph:"i"`).
+    Mark {
+        /// Simulated time.
+        t: SimTime,
+        /// Tracer-local record sequence.
+        seq: u64,
+        /// Track.
+        track: u32,
+        /// Event name.
+        name: &'static str,
+        /// Annotations.
+        args: Args,
+    },
+    /// A sampled counter value (Chrome `ph:"C"`).
+    Counter {
+        /// Simulated time of the sample.
+        t: SimTime,
+        /// Tracer-local record sequence.
+        seq: u64,
+        /// Track.
+        track: u32,
+        /// Counter name.
+        name: &'static str,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+impl TraceEvent {
+    /// `(time, record seq)` sort key for export.
+    pub(crate) fn key(&self) -> (SimTime, u64) {
+        match self {
+            TraceEvent::Begin { t, seq, .. }
+            | TraceEvent::End { t, seq, .. }
+            | TraceEvent::Mark { t, seq, .. }
+            | TraceEvent::Counter { t, seq, .. } => (*t, *seq),
+        }
+    }
+}
+
+pub(crate) struct TracerInner {
+    pub(crate) events: Vec<TraceEvent>,
+    /// Open spans: span id → (track, name), consumed by `end`.
+    open: BTreeMap<u64, (u32, &'static str)>,
+    next_span: u64,
+    /// Track names in registration order; index = track id.
+    pub(crate) tracks: Vec<String>,
+    track_ids: BTreeMap<String, u32>,
+    seq: u64,
+    cap: usize,
+    pub(crate) dropped: u64,
+}
+
+/// A cloneable handle to one trace buffer. Install it with [`install`],
+/// run the simulation, then export with
+/// [`export_chrome_trace`](crate::chrome::export_chrome_trace).
+#[derive(Clone)]
+pub struct Tracer {
+    pub(crate) inner: Rc<RefCell<TracerInner>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Default event-buffer capacity. Generous enough for full figure runs;
+/// recording stops (deterministically) past this point and the dropped
+/// count is reported in the export metadata.
+const DEFAULT_EVENT_CAP: usize = 4_000_000;
+
+impl Tracer {
+    /// A tracer with the default event capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_EVENT_CAP)
+    }
+
+    /// A tracer that stops recording after `cap` events (the drop is
+    /// deterministic: same run, same events dropped).
+    pub fn with_capacity(cap: usize) -> Self {
+        Tracer {
+            inner: Rc::new(RefCell::new(TracerInner {
+                events: Vec::new(),
+                open: BTreeMap::new(),
+                next_span: 1,
+                tracks: Vec::new(),
+                track_ids: BTreeMap::new(),
+                seq: 0,
+                cap,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Number of events recorded so far.
+    pub fn events_recorded(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+
+    /// Number of events dropped after the buffer filled.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+}
+
+impl TracerInner {
+    fn track_id(&mut self, track: &str) -> u32 {
+        if let Some(&id) = self.track_ids.get(track) {
+            return id;
+        }
+        let id = self.tracks.len() as u32;
+        self.tracks.push(track.to_string());
+        self.track_ids.insert(track.to_string(), id);
+        id
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(ev);
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Tracer>> = const { RefCell::new(None) };
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install `tracer` as the thread's active tracer and enable recording.
+pub fn install(tracer: Tracer) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(tracer));
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Disable recording and return the active tracer, if any.
+pub fn uninstall() -> Option<Tracer> {
+    ENABLED.with(|e| e.set(false));
+    CURRENT.with(|c| c.borrow_mut().take())
+}
+
+/// Cheap fast-path check: is a tracer installed and recording? Model code
+/// gates every instrumentation site on this so the disabled path does no
+/// formatting or allocation.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+fn with_tracer(f: impl FnOnce(&mut TracerInner)) {
+    if !enabled() {
+        return;
+    }
+    CURRENT.with(|c| {
+        if let Some(tracer) = c.borrow().as_ref() {
+            f(&mut tracer.inner.borrow_mut());
+        }
+    });
+}
+
+/// Record a point event at the current simulated time.
+pub fn instant(en: &Engine, track: &str, name: &'static str, args: &[(&'static str, u64)]) {
+    instant_at(en.now(), track, name, args);
+}
+
+/// Record a point event at an explicit simulated time. Used by spots that
+/// know a completion time without scheduling an event for it (scheduling
+/// from the tracer would perturb `events_executed` and break the
+/// trace-off/trace-on equivalence).
+pub fn instant_at(t: SimTime, track: &str, name: &'static str, args: &[(&'static str, u64)]) {
+    with_tracer(|inner| {
+        let track = inner.track_id(track);
+        let seq = inner.next_seq();
+        inner.push(TraceEvent::Mark {
+            t,
+            seq,
+            track,
+            name,
+            args: args.to_vec(),
+        });
+    });
+}
+
+/// Open a span at the current simulated time. Returns [`SpanId::NONE`]
+/// when tracing is disabled.
+pub fn begin(en: &Engine, track: &str, name: &'static str, args: &[(&'static str, u64)]) -> SpanId {
+    let mut id = SpanId::NONE;
+    let t = en.now();
+    with_tracer(|inner| {
+        let track = inner.track_id(track);
+        let span = inner.next_span;
+        inner.next_span += 1;
+        inner.open.insert(span, (track, name));
+        let seq = inner.next_seq();
+        inner.push(TraceEvent::Begin {
+            t,
+            seq,
+            track,
+            name,
+            span,
+            args: args.to_vec(),
+        });
+        id = SpanId(span);
+    });
+    id
+}
+
+/// Close a span at the current simulated time. No-op for
+/// [`SpanId::NONE`] or unknown spans.
+pub fn end(en: &Engine, span: SpanId) {
+    end_at(en.now(), span);
+}
+
+/// Close a span at an explicit simulated time (see [`instant_at`] for why
+/// explicit-time recording exists).
+pub fn end_at(t: SimTime, span: SpanId) {
+    if span.is_none() {
+        return;
+    }
+    with_tracer(|inner| {
+        if let Some((track, name)) = inner.open.remove(&span.0) {
+            let seq = inner.next_seq();
+            inner.push(TraceEvent::End {
+                t,
+                seq,
+                track,
+                name,
+                span: span.0,
+            });
+        }
+    });
+}
+
+/// Record a complete span between two known instants in one call —
+/// the common shape for transfer-style activities whose completion time
+/// is computed analytically (link serialisation, TLP bursts).
+pub fn span_between(
+    track: &str,
+    name: &'static str,
+    start: SimTime,
+    finish: SimTime,
+    args: &[(&'static str, u64)],
+) {
+    with_tracer(|inner| {
+        let track = inner.track_id(track);
+        let span = inner.next_span;
+        inner.next_span += 1;
+        let seq = inner.next_seq();
+        inner.push(TraceEvent::Begin {
+            t: start,
+            seq,
+            track,
+            name,
+            span,
+            args: args.to_vec(),
+        });
+        let seq = inner.next_seq();
+        inner.push(TraceEvent::End {
+            t: finish,
+            seq,
+            track,
+            name,
+            span,
+        });
+    });
+}
+
+/// Record a counter sample at the current simulated time.
+pub fn counter(en: &Engine, track: &str, name: &'static str, value: f64) {
+    let t = en.now();
+    with_tracer(|inner| {
+        let track = inner.track_id(track);
+        let seq = inner.next_seq();
+        inner.push(TraceEvent::Counter {
+            t,
+            seq,
+            track,
+            name,
+            value,
+        });
+    });
+}
+
+/// Dump an [`EngineError`] diagnosis into the trace: the pending-queue
+/// head (time, seq) and count land on the `engine` track so a runaway
+/// model's last state is visible in the exported timeline.
+pub fn report_engine_error(err: &EngineError) {
+    let EngineError::EventLimit {
+        limit,
+        now,
+        pending,
+        head,
+    } = err;
+    let mut args: Args = vec![("limit", *limit), ("pending", *pending as u64)];
+    if let Some((t, seq)) = head {
+        args.push(("head_t_ns", t.as_ns()));
+        args.push(("head_seq", *seq));
+    }
+    instant_at(*now, "engine", "engine.event_limit", &args);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snacc_sim::SimDuration;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        assert!(!enabled());
+        let en = Engine::new();
+        let span = begin(&en, "t", "x", &[]);
+        assert!(span.is_none());
+        end(&en, span);
+        instant(&en, "t", "y", &[("k", 1)]);
+        // Nothing to assert beyond "did not panic": no tracer installed.
+    }
+
+    #[test]
+    fn records_spans_and_instants() {
+        let tracer = Tracer::new();
+        install(tracer.clone());
+        let mut en = Engine::new();
+        let span = begin(&en, "dev", "cmd", &[("len", 4096)]);
+        assert!(!span.is_none());
+        en.schedule_in(SimDuration::from_ns(10), move |en| {
+            end(en, span);
+            instant(en, "dev", "done", &[]);
+        });
+        en.run();
+        uninstall();
+        assert!(!enabled());
+        assert_eq!(tracer.events_recorded(), 3);
+        assert_eq!(tracer.events_dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_drops_deterministically() {
+        let tracer = Tracer::with_capacity(2);
+        install(tracer.clone());
+        let en = Engine::new();
+        for _ in 0..5 {
+            instant(&en, "t", "tick", &[]);
+        }
+        uninstall();
+        assert_eq!(tracer.events_recorded(), 2);
+        assert_eq!(tracer.events_dropped(), 3);
+    }
+
+    #[test]
+    fn engine_error_report_lands_on_engine_track() {
+        let tracer = Tracer::new();
+        install(tracer.clone());
+        let err = EngineError::EventLimit {
+            limit: 100,
+            now: SimTime::from_ns(7),
+            pending: 3,
+            head: Some((SimTime::from_ns(8), 42)),
+        };
+        report_engine_error(&err);
+        uninstall();
+        assert_eq!(tracer.events_recorded(), 1);
+        let inner = tracer.inner.borrow();
+        assert_eq!(inner.tracks, vec!["engine".to_string()]);
+    }
+}

@@ -69,9 +69,13 @@ fn main() {
     );
 
     // No host involvement after bring-up: that's the paper's headline.
-    let st = sys.streamer.stats();
+    let m = sys.streamer.metrics();
     println!(
         "streamer: {} commands ({} writes, {} reads), {} doorbells, {} errors",
-        st.cmds_issued, st.write_cmds, st.read_cmds, st.doorbells, st.errors
+        m.cmds_issued.get(),
+        m.write_cmds.get(),
+        m.read_cmds.get(),
+        m.doorbells.get(),
+        m.errors.get()
     );
 }

@@ -16,7 +16,8 @@
 //! * [`core`] — **the paper's contribution**: the NVMe Streamer with
 //!   on-the-fly PRP synthesis and in-order retirement,
 //! * [`spdk`] — the host-CPU polling baseline,
-//! * [`apps`] — the Sec 6 image-classification case study.
+//! * [`apps`] — the Sec 6 image-classification case study,
+//! * [`trace`] — deterministic tracing, metrics and Perfetto export.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@ pub use snacc_nvme as nvme;
 pub use snacc_pcie as pcie;
 pub use snacc_sim as sim;
 pub use snacc_spdk as spdk;
+pub use snacc_trace as trace;
 
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
