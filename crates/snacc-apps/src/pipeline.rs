@@ -17,9 +17,9 @@ use snacc_core::streamer::UserPorts;
 use snacc_fpga::axis::{self, AxisChannel, StreamBeat};
 use snacc_net::frame::{EthFrame, MacAddr};
 use snacc_net::mac::{self, EthMac, MacConfig};
-use snacc_sim::{Engine, SimDuration, SimTime};
+use snacc_sim::{Engine, Payload, PayloadQueue, SimDuration, SimTime};
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Case-study parameters.
@@ -98,7 +98,7 @@ pub trait CaseSink {
     fn begin(&mut self, en: &mut Engine, addr: u64, len: u64) -> bool;
     /// Push payload bytes of the current transfer (`last` closes it).
     /// Returns `false` on backpressure — retry after a wake.
-    fn push(&mut self, en: &mut Engine, data: Vec<u8>, last: bool) -> bool;
+    fn push(&mut self, en: &mut Engine, data: Payload, last: bool) -> bool;
     /// Transfers fully persisted.
     fn completed(&self) -> u64;
     /// Install the wake callback (sink has space again / made progress).
@@ -140,7 +140,7 @@ impl CaseSink for StreamerSink {
         axis::push(&self.ports.wr_in, en, beat)
     }
 
-    fn push(&mut self, en: &mut Engine, data: Vec<u8>, last: bool) -> bool {
+    fn push(&mut self, en: &mut Engine, data: Payload, last: bool) -> bool {
         axis::push(&self.ports.wr_in, en, StreamBeat { data, last })
     }
 
@@ -162,10 +162,13 @@ pub struct DbController<S: CaseSink> {
     cfg: CaseStudyConfig,
     rx: Rc<RefCell<AxisChannel>>,
     sink: S,
-    inbuf: VecDeque<u8>,
+    inbuf: PayloadQueue,
     state: DbState,
-    /// Image bytes being accumulated for the classification tee.
-    tee: Vec<u8>,
+    /// Image segments accumulated for the classification tee — shared
+    /// windows of the stream payloads, not copies.
+    tee: Vec<Payload>,
+    /// Total bytes across `tee`.
+    tee_len: usize,
     /// Images queued at the classifier (bounded FIFO).
     classifier_queue: usize,
     classifier_free_at: SimTime,
@@ -202,9 +205,10 @@ impl<S: CaseSink + 'static> DbController<S> {
         let ctl = Rc::new(RefCell::new(DbController {
             cfg,
             rx: rx.clone(),
-            inbuf: VecDeque::new(),
+            inbuf: PayloadQueue::new(),
             state: DbState::Header,
             tee: Vec::new(),
+            tee_len: 0,
             classifier_queue: 0,
             classifier_free_at: SimTime::ZERO,
             memo: HashMap::new(),
@@ -257,15 +261,15 @@ impl<S: CaseSink + 'static> DbController<S> {
                 axis::pop(&rx, en)
             };
             match beat {
-                Some(b) => self.inbuf.extend(b.data),
+                Some(b) => self.inbuf.push_back(b.data),
                 None => break,
             }
         }
     }
 
-    fn take(&mut self, n: usize) -> Vec<u8> {
+    fn take(&mut self, n: usize) -> Payload {
         self.taken_total += n as u64;
-        self.inbuf.drain(..n).collect()
+        self.inbuf.take(n)
     }
 
     /// Drive the state machine as far as currently possible.
@@ -317,7 +321,7 @@ impl<S: CaseSink + 'static> DbController<S> {
                 let fmt = ImageFormat::capture();
                 assert_eq!(hdr.len as usize, fmt.bytes(), "unexpected frame size");
                 c.tee.clear();
-                c.tee.reserve(hdr.len as usize);
+                c.tee_len = 0;
                 c.state = DbState::Image(hdr, hdr.len as u64, false);
                 true
             }
@@ -346,17 +350,14 @@ impl<S: CaseSink + 'static> DbController<S> {
                 }
                 let chunk = c.take(n as usize);
                 let last = n == rem;
-                // Tee: keep bytes for the classification path.
-                c.tee.extend_from_slice(&chunk);
-                if !c.sink.push(en, chunk, last) {
-                    // Refused: put the bytes back (front) and retry later.
-                    let tail_start = c.tee.len() - n as usize;
-                    let mut cdata = c.tee.split_off(tail_start);
-                    for b in cdata.drain(..).rev() {
-                        c.inbuf.push_front(b);
-                    }
+                if !c.sink.push(en, chunk.clone(), last) {
+                    // Refused: put the segment back (front) and retry later.
+                    c.inbuf.push_front(chunk);
                     return false;
                 }
+                // Tee: share the segment with the classification path.
+                c.tee_len += chunk.len();
+                c.tee.push(chunk);
                 let DbState::Image(_, remaining, _) = &mut c.state else {
                     unreachable!()
                 };
@@ -368,12 +369,17 @@ impl<S: CaseSink + 'static> DbController<S> {
                 c.images_stored += 1;
                 c.classifier_queue += 1;
                 let tee = std::mem::take(&mut c.tee);
-                let key = content_key(&tee);
+                let tee_len = std::mem::take(&mut c.tee_len);
+                let key = content_key(&tee, tee_len);
                 let class = match c.memo.get(&key) {
                     Some(&cl) => cl,
                     None => {
+                        // Memo miss (once per distinct image content): the
+                        // downscaler needs contiguous bytes, so materialise
+                        // here — adjacent segments merge zero-copy.
+                        let img = Payload::concat(&tee);
                         let small =
-                            downscale(&tee, ImageFormat::capture(), ImageFormat::classify());
+                            downscale(&img, ImageFormat::capture(), ImageFormat::classify());
                         let cl = classify(&small, ImageFormat::classify());
                         c.memo.insert(key, cl);
                         cl
@@ -411,7 +417,7 @@ impl<S: CaseSink + 'static> DbController<S> {
                     return false;
                 }
                 c.transfers_begun += 1;
-                let ok = c.sink.push(en, data, true);
+                let ok = c.sink.push(en, Payload::from_vec(data), true);
                 assert!(ok, "record page push after begin must fit");
                 c.record_pages_written += 1;
                 c.state = DbState::Header;
@@ -431,14 +437,25 @@ impl<S: CaseSink + 'static> DbController<S> {
 }
 
 /// Cheap content key for classification memoisation (samples the image).
-fn content_key(img: &[u8]) -> u64 {
+/// Walks the tee's segments in place — hashing never concatenates them.
+/// The sample points and hash are identical to running FNV over every
+/// `step`-th byte of the flat image.
+fn content_key(segs: &[Payload], total: usize) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let step = (img.len() / 512).max(1);
-    for i in (0..img.len()).step_by(step) {
-        h ^= img[i] as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    let step = (total / 512).max(1);
+    let mut next = 0usize; // next flat index to sample
+    let mut base = 0usize; // flat index of the current segment's start
+    for seg in segs {
+        let end = base + seg.len();
+        let s = seg.as_slice();
+        while next < end {
+            h ^= s[next - base] as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            next += step;
+        }
+        base = end;
     }
-    h ^ img.len() as u64
+    h ^ total as u64
 }
 
 /// The Ethernet image source: a second FPGA streaming frames at line rate
@@ -448,10 +465,12 @@ pub struct ImageSender {
     dst: MacAddr,
     cfg: CaseStudyConfig,
     next_id: u64,
-    /// (wire bytes of current image, position).
-    current: Option<(Rc<Vec<u8>>, usize)>,
-    /// Per-class cached wire images (header is patched per frame).
-    cache: HashMap<u64, Rc<Vec<u8>>>,
+    /// (header bytes, body bytes, position) of the current image. The
+    /// header is per-image; the body is the shared per-class pattern, so
+    /// frames after the first are zero-copy windows of the cache.
+    current: Option<(Payload, Payload, usize)>,
+    /// Per-class cached image bodies.
+    cache: HashMap<u64, Payload>,
     pub finished_at: Option<SimTime>,
 }
 
@@ -480,13 +499,13 @@ impl ImageSender {
         s
     }
 
-    fn wire_image(&mut self, id: u64) -> Rc<Vec<u8>> {
+    fn wire_image(&mut self, id: u64) -> (Payload, Payload) {
         let class = id % crate::images::NUM_CLASSES as u64;
         let body = self.cache.entry(class).or_insert_with(|| {
             let (_, px) = generate_image(ImageFormat::capture(), class);
-            Rc::new(px)
+            Payload::from_vec(px)
         });
-        // Header is per-frame; body is the cached class pattern. The
+        // Header is per-image; body is the cached class pattern. The
         // generator keys its pattern (and truth) on id % classes, so the
         // cached body is bit-identical to generate_image(id).
         let hdr = ImageHeader {
@@ -494,10 +513,7 @@ impl ImageSender {
             len: body.len() as u32,
             truth: class as u32,
         };
-        let mut wire = Vec::with_capacity(HEADER_BYTES + body.len());
-        wire.extend_from_slice(&hdr.encode());
-        wire.extend_from_slice(body);
-        Rc::new(wire)
+        (Payload::from(hdr.encode()), body.clone())
     }
 
     /// Push frames while the MAC accepts them.
@@ -514,29 +530,40 @@ impl ImageSender {
                     }
                     let id = s.next_id;
                     s.next_id += 1;
-                    let w = s.wire_image(id);
-                    s.current = Some((w, 0));
+                    let (hdr, body) = s.wire_image(id);
+                    s.current = Some((hdr, body, 0));
                 }
-                let (w, pos) = s.current.clone().expect("current set");
-                let n = s.cfg.frame_payload.min(w.len() - pos);
-                let payload = w[pos..pos + n].to_vec();
+                let (hdr, body, pos) = s.current.clone().expect("current set");
+                let total = hdr.len() + body.len();
+                let n = s.cfg.frame_payload.min(total - pos);
+                let hb = hdr.len();
+                // Slice the frame payload out of (header · body) without
+                // materialising the concatenation; only the frame that
+                // straddles the header/body seam copies (n bytes, once per
+                // image).
+                let payload = if pos >= hb {
+                    body.slice(pos - hb..pos - hb + n)
+                } else if pos + n <= hb {
+                    hdr.slice(pos..pos + n)
+                } else {
+                    Payload::concat(&[hdr.slice(pos..hb), body.slice(0..pos + n - hb)])
+                };
                 let src = s.mac.borrow().addr();
                 let f = EthFrame::data(s.dst, src, payload);
                 // Advance tentatively.
-                if pos + n == w.len() {
+                if pos + n == total {
                     s.current = None;
                 } else {
-                    s.current = Some((w.clone(), pos + n));
+                    s.current = Some((hdr.clone(), body.clone(), pos + n));
                 }
-                (f, w, pos, n)
+                (f, hdr, body, pos)
             };
-            let (f, w, pos, n) = frame;
+            let (f, hdr, body, pos) = frame;
             let mac_rc = rc.borrow().mac.clone();
             if !mac::send(&mac_rc, en, f) {
                 // Refused: roll back.
                 let mut s = rc.borrow_mut();
-                s.current = Some((w, pos));
-                let _ = n;
+                s.current = Some((hdr, body, pos));
                 return;
             }
         }

@@ -345,7 +345,7 @@ impl CaseSink for SpdkSink {
         true
     }
 
-    fn push(&mut self, en: &mut Engine, data: Vec<u8>, last: bool) -> bool {
+    fn push(&mut self, en: &mut Engine, data: snacc_sim::Payload, last: bool) -> bool {
         let (idx, stage_off, fabric, fpga, phys_chunks) = {
             let i = self.inner.borrow();
             let (_, idx, written) = i.current.expect("begin first");

@@ -1,66 +1,144 @@
-//! `--trace` / `--metrics-json` support shared by the evaluation binaries.
+//! `--trace` / `--metrics-json` / `--perf-json` support shared by the
+//! evaluation binaries.
 //!
 //! [`Telemetry::from_args`] scans the process arguments; `--trace <path>`
 //! installs a fresh [`Tracer`] so every model-crate instrumentation site
-//! starts recording, and `--metrics-json <path>` installs a fresh metrics
-//! registry scoped to this run. [`Telemetry::finish`] writes the exports:
+//! starts recording, `--metrics-json <path>` installs a fresh metrics
+//! registry scoped to this run, and `--perf-json <path>` records *wall
+//! clock* performance of the process itself — elapsed seconds, simulation
+//! events executed, peak RSS. [`Telemetry::finish`] writes the exports:
 //! the trace as Chrome `trace_event` JSON (open it in
 //! <https://ui.perfetto.dev> or `chrome://tracing`), the metrics as a
-//! key-sorted JSON snapshot.
+//! key-sorted JSON snapshot, and the perf record merged into the given
+//! JSON file keyed by binary name (so several figure binaries can append
+//! to one `BENCH_*.json`).
 
 use snacc_trace::{MetricsRegistry, Tracer};
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Parsed telemetry flags; holds the export paths while the thread-local
 /// tracer/registry record the run.
 pub struct Telemetry {
     trace_path: Option<PathBuf>,
     metrics_path: Option<PathBuf>,
+    perf_path: Option<PathBuf>,
+    started: Instant,
 }
 
-fn parse(args: impl Iterator<Item = String>) -> (Option<PathBuf>, Option<PathBuf>) {
-    let mut trace_path = None;
-    let mut metrics_path = None;
+struct Flags {
+    trace_path: Option<PathBuf>,
+    metrics_path: Option<PathBuf>,
+    perf_path: Option<PathBuf>,
+}
+
+fn parse(args: impl Iterator<Item = String>) -> Flags {
+    let mut f = Flags {
+        trace_path: None,
+        metrics_path: None,
+        perf_path: None,
+    };
     let mut args = args;
     while let Some(a) = args.next() {
         if a == "--trace" {
-            trace_path = args.next().map(PathBuf::from);
+            f.trace_path = args.next().map(PathBuf::from);
         } else if let Some(p) = a.strip_prefix("--trace=") {
-            trace_path = Some(PathBuf::from(p));
+            f.trace_path = Some(PathBuf::from(p));
         } else if a == "--metrics-json" {
-            metrics_path = args.next().map(PathBuf::from);
+            f.metrics_path = args.next().map(PathBuf::from);
         } else if let Some(p) = a.strip_prefix("--metrics-json=") {
-            metrics_path = Some(PathBuf::from(p));
+            f.metrics_path = Some(PathBuf::from(p));
+        } else if a == "--perf-json" {
+            f.perf_path = args.next().map(PathBuf::from);
+        } else if let Some(p) = a.strip_prefix("--perf-json=") {
+            f.perf_path = Some(PathBuf::from(p));
         }
     }
-    (trace_path, metrics_path)
+    f
+}
+
+/// Peak resident set size of this process in KiB, from
+/// `/proc/self/status` `VmHWM` (0 where unavailable).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .split_whitespace()
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// Merge `{key: record}` into the JSON object file at `path`, preserving
+/// other keys (each figure binary writes its own entry). The existing file
+/// is parsed just enough to splice objects; on any parse trouble the file
+/// is rewritten with only the new entry.
+fn merge_json_entry(path: &PathBuf, key: &str, record: &str) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut entries: Vec<(String, String)> = Vec::new();
+    if let Some(body) = existing
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+    {
+        // Top-level entries are `"key": {...}` — values are one-level
+        // objects, so splitting on `}` boundaries is enough.
+        for part in body.split_inclusive('}') {
+            let part = part.trim().trim_start_matches(',').trim();
+            if let Some((k, v)) = part.split_once(':') {
+                let k = k.trim().trim_matches('"').to_string();
+                if !k.is_empty() && k != key {
+                    entries.push((k, v.trim().to_string()));
+                }
+            }
+        }
+    }
+    entries.push((key.to_string(), record.to_string()));
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!("  \"{k}\": {v}{sep}\n"));
+    }
+    out.push('}');
+    out.push('\n');
+    std::fs::write(path, out)
 }
 
 impl Telemetry {
-    /// Parse `--trace <path>` / `--metrics-json <path>` (also the
-    /// `--flag=path` spelling) from the process arguments and install the
-    /// corresponding sinks. Other arguments are ignored.
+    /// Parse `--trace <path>` / `--metrics-json <path>` / `--perf-json
+    /// <path>` (also the `--flag=path` spelling) from the process
+    /// arguments and install the corresponding sinks. Other arguments are
+    /// ignored.
     pub fn from_args() -> Telemetry {
-        let (trace_path, metrics_path) = parse(std::env::args().skip(1));
-        if trace_path.is_some() {
+        let f = parse(std::env::args().skip(1));
+        if f.trace_path.is_some() {
             snacc_trace::install(Tracer::new());
         }
-        if metrics_path.is_some() {
+        if f.metrics_path.is_some() {
             snacc_trace::install_registry(MetricsRegistry::new());
         }
         Telemetry {
-            trace_path,
-            metrics_path,
+            trace_path: f.trace_path,
+            metrics_path: f.metrics_path,
+            perf_path: f.perf_path,
+            started: Instant::now(),
         }
     }
 
-    /// Is a trace being recorded? Binaries that fan independent
-    /// simulations across threads with rayon must fall back to sequential
-    /// execution in that case — the tracer (like the simulation itself)
+    /// Must the binary run its simulations sequentially? True when a
+    /// trace is being recorded (the tracer, like the simulation itself,
     /// is thread-local, and a deterministic trace needs a deterministic
-    /// interleaving anyway.
+    /// interleaving) and when wall-clock perf is being recorded (a rayon
+    /// fan-out would make events-executed and RSS incomparable between
+    /// runs).
     pub fn tracing(&self) -> bool {
-        self.trace_path.is_some()
+        self.trace_path.is_some() || self.perf_path.is_some()
     }
 
     /// Write the requested export files and stop recording.
@@ -78,6 +156,28 @@ impl Telemetry {
             std::fs::write(p, snacc_trace::registry().snapshot_json()).expect("write metrics");
             eprintln!("(metrics -> {})", p.display());
         }
+        if let Some(p) = &self.perf_path {
+            let wall = self.started.elapsed().as_secs_f64();
+            let events = snacc_sim::engine::lifetime_events_executed();
+            let rss = peak_rss_kb();
+            let bin = std::env::args()
+                .next()
+                .map(|a| {
+                    PathBuf::from(a)
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| "unknown".into())
+                })
+                .unwrap_or_else(|| "unknown".into());
+            let record = format!(
+                "{{\"wall_seconds\": {wall:.3}, \"events_executed\": {events}, \"peak_rss_kb\": {rss}}}"
+            );
+            merge_json_entry(p, &bin, &record).expect("write perf json");
+            eprintln!(
+                "(perf: {wall:.3} s wall, {events} events, {rss} KiB peak RSS -> {})",
+                p.display()
+            );
+        }
     }
 }
 
@@ -94,18 +194,49 @@ mod tests {
 
     #[test]
     fn parses_both_flag_spellings() {
-        let (t, m) = parse(strings(&["--trace", "a.json", "--metrics-json=m.json"]));
-        assert_eq!(t, Some(PathBuf::from("a.json")));
-        assert_eq!(m, Some(PathBuf::from("m.json")));
-        let (t, m) = parse(strings(&["--trace=b.json", "--metrics-json", "n.json"]));
-        assert_eq!(t, Some(PathBuf::from("b.json")));
-        assert_eq!(m, Some(PathBuf::from("n.json")));
+        let f = parse(strings(&["--trace", "a.json", "--metrics-json=m.json"]));
+        assert_eq!(f.trace_path, Some(PathBuf::from("a.json")));
+        assert_eq!(f.metrics_path, Some(PathBuf::from("m.json")));
+        let f = parse(strings(&["--trace=b.json", "--metrics-json", "n.json"]));
+        assert_eq!(f.trace_path, Some(PathBuf::from("b.json")));
+        assert_eq!(f.metrics_path, Some(PathBuf::from("n.json")));
+        let f = parse(strings(&["--perf-json", "p.json"]));
+        assert_eq!(f.perf_path, Some(PathBuf::from("p.json")));
+        let f = parse(strings(&["--perf-json=q.json"]));
+        assert_eq!(f.perf_path, Some(PathBuf::from("q.json")));
     }
 
     #[test]
     fn ignores_unrelated_args() {
-        let (t, m) = parse(strings(&["--quiet", "positional"]));
-        assert_eq!(t, None);
-        assert_eq!(m, None);
+        let f = parse(strings(&["--quiet", "positional"]));
+        assert_eq!(f.trace_path, None);
+        assert_eq!(f.metrics_path, None);
+        assert_eq!(f.perf_path, None);
+    }
+
+    #[test]
+    fn perf_json_merges_by_key() {
+        let dir = std::env::temp_dir().join(format!("snacc-perf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("perf.json");
+        merge_json_entry(&path, "fig4a", "{\"wall_seconds\": 1.5}").unwrap();
+        merge_json_entry(&path, "fig7", "{\"wall_seconds\": 2.0}").unwrap();
+        // Re-running a binary replaces its entry, keeping the others.
+        merge_json_entry(&path, "fig4a", "{\"wall_seconds\": 1.0}").unwrap();
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert!(got.contains("\"fig7\": {\"wall_seconds\": 2.0}"), "{got}");
+        assert!(got.contains("\"fig4a\": {\"wall_seconds\": 1.0}"), "{got}");
+        assert!(!got.contains("1.5"), "{got}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        // The proc parse itself must not panic anywhere; on Linux the
+        // value is real.
+        let rss = peak_rss_kb();
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(rss > 0);
+        }
     }
 }

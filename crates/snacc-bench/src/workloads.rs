@@ -90,12 +90,11 @@ pub fn streamer_write(sys: &mut SnaccSystem, addr: u64, len: u64) {
     let mut off = 0u64;
     while off < len {
         let n = chunk.min(len - off);
-        let mut data = vec![0u8; n as usize];
-        for (i, b) in data.iter_mut().enumerate() {
-            *b = fill_byte(addr + off + i as u64);
-        }
+        // fill_byte(addr + off + i) == pattern_byte(addr + off, i): the
+        // chunk is a lazily materialised pattern segment, and retried
+        // pushes clone an Rc instead of 64 KiB.
         let beat = StreamBeat {
-            data,
+            data: snacc_sim::Payload::pattern(addr + off, n as usize),
             last: off + n == len,
         };
         let mut beat = Some(beat);
@@ -201,7 +200,8 @@ pub fn snacc_rand_bandwidth(variant: StreamerVariant, dir: Dir, total: u64, seed
         Dir::Write => {
             let mut done = 0u64;
             let mut issued = 0u64;
-            let payload: Vec<u8> = (0..4096).map(|i| fill_byte(i as u64)).collect();
+            // One shared 4 KiB page; per-request clones are Rc bumps.
+            let payload = snacc_sim::Payload::pattern(0, 4096);
             while done < count {
                 if issued < count && ports.wr_in.borrow().has_space(4096 + 8) {
                     let addr = rng.gen_range(span / 4096) * 4096;

@@ -75,13 +75,20 @@ impl MultiSsd {
             while !axis::push(&ports.wr_in, en, header.clone()) {
                 assert!(en.step(), "multi-SSD writer stalled on header");
             }
-            let payload = &data[logical_off as usize..(logical_off + take_len) as usize];
-            for (k, chunk) in payload.chunks(64 << 10).enumerate() {
-                let last = (k + 1) * (64 << 10) >= payload.len();
+            // Share the stripe piece once; per-chunk beats are zero-copy
+            // windows into it.
+            let payload = snacc_sim::Payload::from(
+                &data[logical_off as usize..(logical_off + take_len) as usize],
+            );
+            let plen = payload.len();
+            let mut coff = 0usize;
+            while coff < plen {
+                let cend = (coff + (64 << 10)).min(plen);
                 let beat = StreamBeat {
-                    data: chunk.to_vec(),
-                    last,
+                    data: payload.slice(coff..cend),
+                    last: cend == plen,
                 };
+                coff = cend;
                 let mut pending = Some(beat);
                 while let Some(b) = pending.take() {
                     if !axis::push(&ports.wr_in, en, b.clone()) {

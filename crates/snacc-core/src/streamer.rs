@@ -943,11 +943,12 @@ fn pump_write_in(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
     let space = region.len - filled;
     let take = (beat.len() as u64).min(space) as usize;
     let (chunk, leftover) = if take < beat.len() {
+        let (head, tail) = beat.data.split_at(take);
         let rest = StreamBeat {
-            data: beat.data[take..].to_vec(),
+            data: tail,
             last: beat.last,
         };
-        (beat.data[..take].to_vec(), Some(rest))
+        (head, Some(rest))
     } else {
         (beat.data, None)
     };
@@ -1489,7 +1490,7 @@ fn stream_out_step(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
                 en.schedule_at(t.max(en.now()), move |en| {
                     let ch = rc2.borrow().ports.rd_data.clone();
                     let beat = StreamBeat {
-                        data,
+                        data: data.into(),
                         last: is_last_beat,
                     };
                     let ok = axis::push(&ch, en, beat);

@@ -8,30 +8,37 @@
 //! the same event discipline an RTL handshake creates, at chunk rather
 //! than cycle granularity.
 
-use snacc_sim::Engine;
+use snacc_sim::{Engine, Payload};
 use snacc_trace as trace;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-/// One stream beat: a chunk of bytes plus the TLAST marker.
+/// One stream beat: a chunk of bytes plus the TLAST marker. The bytes
+/// are a shared [`Payload`] window, so beats clone/split without copying.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StreamBeat {
     /// Payload bytes of this beat.
-    pub data: Vec<u8>,
+    pub data: Payload,
     /// TLAST: final beat of the current transfer.
     pub last: bool,
 }
 
 impl StreamBeat {
     /// A beat with TLAST clear.
-    pub fn mid(data: Vec<u8>) -> Self {
-        StreamBeat { data, last: false }
+    pub fn mid(data: impl Into<Payload>) -> Self {
+        StreamBeat {
+            data: data.into(),
+            last: false,
+        }
     }
 
     /// A beat with TLAST set.
-    pub fn last(data: Vec<u8>) -> Self {
-        StreamBeat { data, last: true }
+    pub fn last(data: impl Into<Payload>) -> Self {
+        StreamBeat {
+            data: data.into(),
+            last: true,
+        }
     }
 
     /// Beat length in bytes.

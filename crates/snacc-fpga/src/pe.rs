@@ -139,18 +139,24 @@ impl StagePe {
     }
 }
 
-/// Convenience: drive a channel from a byte vector, chunked into beats of
+/// Convenience: drive a channel from a byte buffer, chunked into beats of
 /// `chunk` bytes, TLAST on the final beat. Returns the beats pushed (the
 /// caller re-kicks on the space hook if it returns less than the total).
-pub fn feed_all(ch: &Rc<RefCell<AxisChannel>>, en: &mut Engine, data: &[u8], chunk: usize) -> bool {
+/// The buffer is shared once; the per-chunk beats are zero-copy windows.
+pub fn feed_all(
+    ch: &Rc<RefCell<AxisChannel>>,
+    en: &mut Engine,
+    data: impl Into<snacc_sim::Payload>,
+    chunk: usize,
+) -> bool {
+    let data = data.into();
     let n = data.len();
     let mut off = 0;
     while off < n {
         let end = (off + chunk).min(n);
-        let beat = if end == n {
-            StreamBeat::last(data[off..end].to_vec())
-        } else {
-            StreamBeat::mid(data[off..end].to_vec())
+        let beat = StreamBeat {
+            data: data.slice(off..end),
+            last: end == n,
         };
         if !axis::push(ch, en, beat) {
             return false;
@@ -195,14 +201,14 @@ mod tests {
             Bandwidth::gb_per_s(1.0),
             ResourceUsage::default(),
             Box::new(|beat| {
-                let data = beat.data.iter().map(|x| !x).collect();
+                let data: Vec<u8> = beat.data.iter().map(|x| !x).collect();
                 vec![StreamBeat {
-                    data,
+                    data: data.into(),
                     last: beat.last,
                 }]
             }),
         );
-        feed_all(&a, &mut en, &[0x0f; 1000], 256);
+        feed_all(&a, &mut en, [0x0f; 1000], 256);
         let end = en.run();
         let got = collect_transfer(&b, &mut en).expect("complete transfer");
         assert_eq!(got, vec![0xf0; 1000]);
@@ -224,7 +230,7 @@ mod tests {
             ResourceUsage::default(),
             Box::new(|beat| vec![beat]),
         );
-        feed_all(&a, &mut en, &[7u8; 4096], 256);
+        feed_all(&a, &mut en, [7u8; 4096], 256);
         en.run();
         // Downstream is full; the PE must be stalled with input remaining.
         assert!(b.borrow().occupancy() <= 512);
@@ -257,17 +263,17 @@ mod tests {
             Bandwidth::gb_per_s(10.0),
             ResourceUsage::default(),
             Box::new(|beat| {
-                let mid = beat.data.len() / 2;
+                let (head, tail) = beat.data.split_at(beat.data.len() / 2);
                 vec![
-                    StreamBeat::mid(beat.data[..mid].to_vec()),
+                    StreamBeat::mid(head),
                     StreamBeat {
-                        data: beat.data[mid..].to_vec(),
+                        data: tail,
                         last: beat.last,
                     },
                 ]
             }),
         );
-        feed_all(&a, &mut en, &[1u8; 100], 100);
+        feed_all(&a, &mut en, [1u8; 100], 100);
         en.run();
         assert_eq!(b.borrow().pending(), 2);
         let out = collect_transfer(&b, &mut en).unwrap();
@@ -288,7 +294,7 @@ mod tests {
             ResourceUsage::default(),
             Box::new(|beat| vec![beat]),
         );
-        feed_all(&a, &mut en, &[0u8; 2048], 512);
+        feed_all(&a, &mut en, [0u8; 2048], 512);
         en.run();
         assert_eq!(pe.borrow().beats_processed(), 4);
         assert_eq!(pe.borrow().bytes_processed(), 2048);

@@ -56,6 +56,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no println!/eprintln! in model crates — observability goes through snacc-trace",
         scope: "all simulation crates (non-test code; tests/examples exempt)",
     },
+    RuleInfo {
+        id: "SL008",
+        summary: "no .to_vec()/.clone() on payload buffers (`data`/`payload`) in model-crate hot paths — share snacc_sim::Payload windows",
+        scope: "all simulation crates (non-test code; tests/examples exempt)",
+    },
 ];
 
 /// Wire-decode modules subject to SL004.
@@ -320,6 +325,7 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
     sl005(&ctx, &mut out);
     sl006(&ctx, &mut out);
     sl007(&ctx, &mut out);
+    sl008(&ctx, &mut out);
     out
 }
 
@@ -578,6 +584,54 @@ fn sl007(ctx: &FileCtx, out: &mut Vec<Violation>) {
     }
 }
 
+/// If `line` applies `op` to a receiver whose final path segment is a
+/// payload-buffer name, return that name. The receiver must end exactly
+/// in the buffer identifier (`beat.data`, `frame.payload`, bare
+/// `payload`) — `frame_payload` or `metadata` do not match.
+fn payload_receiver(line: &str, op: &str) -> Option<&'static str> {
+    const BUFFER_NAMES: &[&str] = &["data", "payload"];
+    let b = line.as_bytes();
+    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(op) {
+        let at = start + pos;
+        for name in BUFFER_NAMES {
+            if line[..at].ends_with(name) {
+                let pre = at - name.len();
+                if pre == 0 || !is_ident(b[pre - 1]) {
+                    return Some(name);
+                }
+            }
+        }
+        start = at + 1;
+    }
+    None
+}
+
+fn sl008(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !is_sim_crate(ctx.krate) {
+        return;
+    }
+    for (i, line) in ctx.clean_lines.iter().enumerate() {
+        if ctx.in_test[i] || ctx.in_test_dir {
+            continue;
+        }
+        for op in [".to_vec(", ".clone("] {
+            if let Some(recv) = payload_receiver(line, op) {
+                out.push(ctx.violation(
+                    "SL008",
+                    i,
+                    format!(
+                        "`{recv}{op})` copies a payload buffer in a model crate; share a \
+                         snacc_sim::Payload window (slice/split_at/concat) instead"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -689,6 +743,21 @@ fn f(&mut self, engine: &mut Engine) {
         );
         assert_eq!(e.len(), 1);
         assert!(e[0].message.contains("eprintln!"), "{e:?}");
+    }
+
+    #[test]
+    fn sl008_payload_copies_in_model_crates() {
+        let src = "fn f(b: StreamBeat) { let v = b.data.to_vec(); }\n";
+        let v = scan_source("crates/snacc-core/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "SL008");
+        let src = "fn f(fr: &EthFrame) { let p = fr.payload.clone(); }\n";
+        assert_eq!(scan_source("crates/snacc-net/src/x.rs", src).len(), 1);
+        // Bench harness, tests dirs and non-buffer receivers are exempt.
+        assert!(scan_source("crates/snacc-bench/src/x.rs", src).is_empty());
+        assert!(scan_source("crates/snacc-net/tests/x.rs", src).is_empty());
+        let ok = "fn f() { let a = frame_payload.clone(); let b = metadata.to_vec(); }\n";
+        assert!(scan_source("crates/snacc-net/src/x.rs", ok).is_empty());
     }
 
     #[test]

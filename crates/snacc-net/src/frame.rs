@@ -5,7 +5,7 @@
 //! 0x8808, MAC control opcode 0x0001, a 16-bit pause-quanta field, and the
 //! reserved multicast destination 01-80-C2-00-00-01.
 
-use snacc_sim::SimDuration;
+use snacc_sim::{Payload, SimDuration};
 use std::fmt;
 
 /// Wire header bytes preceding the payload (12 MAC + 2 EtherType).
@@ -61,13 +61,14 @@ pub struct EthFrame {
     pub src: MacAddr,
     /// EtherType.
     pub ethertype: u16,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes (a shared zero-copy window).
+    pub payload: Payload,
 }
 
 impl EthFrame {
     /// A data frame (EtherType 0x88B5, local experimental).
-    pub fn data(dst: MacAddr, src: MacAddr, payload: Vec<u8>) -> Self {
+    pub fn data(dst: MacAddr, src: MacAddr, payload: impl Into<Payload>) -> Self {
+        let payload = payload.into();
         assert!(payload.len() <= MAX_PAYLOAD, "payload exceeds jumbo MTU");
         EthFrame {
             dst,
@@ -86,7 +87,7 @@ impl EthFrame {
             dst: MacAddr::PAUSE_MULTICAST,
             src,
             ethertype: PAUSE_ETHERTYPE,
-            payload,
+            payload: Payload::from_vec(payload),
         }
     }
 
@@ -129,14 +130,12 @@ impl EthFrame {
 
     /// Parse wire bytes. Total (SL004): every input either parses or
     /// yields a [`FrameError`] — there is no panic path.
+    ///
+    /// This borrowed-slice form copies the payload once (the ingress
+    /// copy); when the wire bytes are already in a shared [`Payload`],
+    /// use [`EthFrame::parse_shared`] for a zero-copy parse.
     pub fn parse(b: &[u8]) -> Result<EthFrame, FrameError> {
-        if b.len() < WIRE_HEADER {
-            return Err(FrameError::ShortHeader(b.len()));
-        }
-        let payload_len = b.len() - WIRE_HEADER;
-        if payload_len > MAX_PAYLOAD {
-            return Err(FrameError::Oversize(payload_len));
-        }
+        Self::check_wire(b)?;
         let mut dst = [0u8; 6];
         let mut src = [0u8; 6];
         dst.copy_from_slice(&b[0..6]);
@@ -145,8 +144,39 @@ impl EthFrame {
             dst: MacAddr(dst),
             src: MacAddr(src),
             ethertype: u16::from_be_bytes([b[12], b[13]]),
-            payload: b[WIRE_HEADER..].to_vec(),
+            payload: Payload::from(&b[WIRE_HEADER..]),
         })
+    }
+
+    /// Parse wire bytes held in a shared buffer: the returned frame's
+    /// payload is a zero-copy window into `b`. Same totality contract as
+    /// [`EthFrame::parse`].
+    pub fn parse_shared(b: &Payload) -> Result<EthFrame, FrameError> {
+        let bytes = b.as_slice();
+        Self::check_wire(bytes)?;
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&bytes[0..6]);
+        src.copy_from_slice(&bytes[6..12]);
+        let ethertype = u16::from_be_bytes([bytes[12], bytes[13]]);
+        Ok(EthFrame {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype,
+            payload: b.slice(WIRE_HEADER..b.len()),
+        })
+    }
+
+    /// Shared wire-format validation for the parse entry points.
+    fn check_wire(b: &[u8]) -> Result<(), FrameError> {
+        if b.len() < WIRE_HEADER {
+            return Err(FrameError::ShortHeader(b.len()));
+        }
+        let payload_len = b.len() - WIRE_HEADER;
+        if payload_len > MAX_PAYLOAD {
+            return Err(FrameError::Oversize(payload_len));
+        }
+        Ok(())
     }
 }
 

@@ -21,9 +21,9 @@ use crate::spec::{self, Cqe, IoOpcode, Sqe, Status, LBA_BYTES, NVME_PAGE, SQE_BY
 use snacc_mem::AddrRange;
 use snacc_pcie::{MmioTarget, NodeId, PcieFabric, HOST_NODE};
 use snacc_sim::stats::Counter;
-use snacc_sim::{Engine, SimDuration, SimTime};
+use snacc_sim::{Engine, Payload, SimDuration, SimTime};
 use snacc_trace as trace;
-use std::cell::RefCell;
+use std::cell::{OnceCell, RefCell};
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
@@ -119,6 +119,10 @@ pub struct NvmeDevice {
     fetch_p2p: VecDeque<SimTime>,
     stats: NvmeStats,
     doorbell_writes: Counter,
+    /// Cached Identify pages (built once; the contents depend only on the
+    /// profile and NAND capacity, both fixed after construction).
+    ident_ctrl: OnceCell<Payload>,
+    ident_ns: OnceCell<Payload>,
 }
 
 impl NvmeDevice {
@@ -147,33 +151,41 @@ impl NvmeDevice {
         self.csts & spec::csts::RDY != 0
     }
 
-    fn identify_controller(&self) -> Vec<u8> {
-        let mut d = vec![0u8; NVME_PAGE as usize];
-        d[0..2].copy_from_slice(&0x144du16.to_le_bytes()); // VID (Samsung)
-        let sn = b"SNACCSIM0001        ";
-        d[4..4 + sn.len()].copy_from_slice(sn);
-        let mn = self.profile.model.as_bytes();
-        let n = mn.len().min(40);
-        d[24..24 + n].copy_from_slice(&mn[..n]);
-        d[64..72].copy_from_slice(b"1.0     "); // FR
-        d[77] = 0; // MDTS: unlimited (the streamer self-limits at 1 MiB)
-        d[512] = 0x66; // SQES: 64 B
-        d[513] = 0x44; // CQES: 16 B
-        d[516..520].copy_from_slice(&1u32.to_le_bytes()); // NN = 1 namespace
-        d
+    fn identify_controller(&self) -> Payload {
+        self.ident_ctrl
+            .get_or_init(|| {
+                let mut d = vec![0u8; NVME_PAGE as usize];
+                d[0..2].copy_from_slice(&0x144du16.to_le_bytes()); // VID (Samsung)
+                let sn = b"SNACCSIM0001        ";
+                d[4..4 + sn.len()].copy_from_slice(sn);
+                let mn = self.profile.model.as_bytes();
+                let n = mn.len().min(40);
+                d[24..24 + n].copy_from_slice(&mn[..n]);
+                d[64..72].copy_from_slice(b"1.0     "); // FR
+                d[77] = 0; // MDTS: unlimited (the streamer self-limits at 1 MiB)
+                d[512] = 0x66; // SQES: 64 B
+                d[513] = 0x44; // CQES: 16 B
+                d[516..520].copy_from_slice(&1u32.to_le_bytes()); // NN = 1 namespace
+                Payload::from_vec(d)
+            })
+            .clone()
     }
 
-    fn identify_namespace(&self) -> Vec<u8> {
-        let mut d = vec![0u8; NVME_PAGE as usize];
-        let nsze = self.nand.capacity_bytes() / LBA_BYTES;
-        d[0..8].copy_from_slice(&nsze.to_le_bytes()); // NSZE
-        d[8..16].copy_from_slice(&nsze.to_le_bytes()); // NCAP
-        d[16..24].copy_from_slice(&nsze.to_le_bytes()); // NUSE
-        d[26] = 0; // FLBAS: format 0
-                   // LBAF0: LBADS = 9 (512 B blocks).
-        let lbaf0: u32 = 9 << 16;
-        d[128..132].copy_from_slice(&lbaf0.to_le_bytes());
-        d
+    fn identify_namespace(&self) -> Payload {
+        self.ident_ns
+            .get_or_init(|| {
+                let mut d = vec![0u8; NVME_PAGE as usize];
+                let nsze = self.nand.capacity_bytes() / LBA_BYTES;
+                d[0..8].copy_from_slice(&nsze.to_le_bytes()); // NSZE
+                d[8..16].copy_from_slice(&nsze.to_le_bytes()); // NCAP
+                d[16..24].copy_from_slice(&nsze.to_le_bytes()); // NUSE
+                d[26] = 0; // FLBAS: format 0
+                           // LBAF0: LBADS = 9 (512 B blocks).
+                let lbaf0: u32 = 9 << 16;
+                d[128..132].copy_from_slice(&lbaf0.to_le_bytes());
+                Payload::from_vec(d)
+            })
+            .clone()
     }
 }
 
@@ -340,6 +352,8 @@ impl NvmeDeviceHandle {
             fetch_p2p: VecDeque::new(),
             stats: NvmeStats::default(),
             doorbell_writes: Counter::new(),
+            ident_ctrl: OnceCell::new(),
+            ident_ns: OnceCell::new(),
         }));
         let bar = Rc::new(RefCell::new(NvmeBar0 { dev: dev.clone() }));
         fabric
@@ -577,7 +591,7 @@ fn exec_admin(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, sqe: Sqe) {
             match cns {
                 0x01 => (d.identify_controller(), true),
                 0x00 => (d.identify_namespace(), true),
-                _ => (Vec::new(), false),
+                _ => (Payload::empty(), false),
             }
         };
         if ok {

@@ -1,0 +1,104 @@
+//! Engine microbenchmarks: raw event throughput for the scheduling
+//! shapes the models exercise — timer ladders (heap ping-pong), wide
+//! heaps (many concurrent timers), and same-instant cascades
+//! (`schedule_now`-dominated hook deferral, the dominant shape in the
+//! AXIS/streamer datapath).
+//!
+//! Run with `cargo bench -p snacc-sim`. Each figure is a full
+//! engine lifetime, so the printed ms/iter divides into events/sec by
+//! the per-bench event counts below.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use snacc_sim::{Engine, SimDuration};
+
+/// Events per iteration for the chain-shaped benches.
+const CHAIN: u64 = 200_000;
+
+/// One self-rescheduling timer chain advancing 1 ns per event.
+fn ladder(en: &mut Engine, left: u64) {
+    if left > 0 {
+        en.schedule_in(SimDuration::from_ns(1), move |en| ladder(en, left - 1));
+    }
+}
+
+/// A same-instant cascade: each event schedules its successor with
+/// `schedule_now`, never advancing time.
+fn cascade(en: &mut Engine, left: u64) {
+    if left > 0 {
+        en.schedule_now(move |en| cascade(en, left - 1));
+    }
+}
+
+/// A periodic timer rescheduling itself every `period_ns`.
+fn periodic(en: &mut Engine, period_ns: u64, left: u64) {
+    if left > 0 {
+        en.schedule_in(SimDuration::from_ns(period_ns), move |en| {
+            periodic(en, period_ns, left - 1)
+        });
+    }
+}
+
+/// A ladder step that also fires a burst of same-instant hook events —
+/// the mixed shape AXIS push/pop hooks create.
+fn mixed(en: &mut Engine, left: u64) {
+    if left > 0 {
+        for _ in 0..4 {
+            en.schedule_now(|_| {});
+        }
+        en.schedule_in(SimDuration::from_ns(1), move |en| mixed(en, left - 1));
+    }
+}
+
+fn engine_benches(c: &mut Criterion) {
+    let quick = std::env::var_os("SNACC_QUICK").is_some();
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(if quick { 3 } else { 10 });
+
+    // 200k events, heap holds one entry at a time.
+    g.bench_function("timer_ladder_200k", |b| {
+        b.iter(|| {
+            let mut en = Engine::new();
+            ladder(&mut en, CHAIN);
+            en.run();
+            black_box(en.now())
+        })
+    });
+
+    // 200k events, all at the same instant through the FIFO lane.
+    g.bench_function("schedule_now_cascade_200k", |b| {
+        b.iter(|| {
+            let mut en = Engine::new();
+            en.schedule_now(move |en| cascade(en, CHAIN));
+            en.run();
+            black_box(en.now())
+        })
+    });
+
+    // 64 concurrent timers with coprime-ish periods: 256k events with a
+    // heap that stays 64 deep (sift costs dominate).
+    g.bench_function("wide_heap_64x4k", |b| {
+        b.iter(|| {
+            let mut en = Engine::new();
+            for t in 0..64u64 {
+                periodic(&mut en, t + 1, 4_000);
+            }
+            en.run();
+            black_box(en.now())
+        })
+    });
+
+    // 40k timer steps each bursting 4 same-instant events (200k total).
+    g.bench_function("mixed_ladder_bursts_200k", |b| {
+        b.iter(|| {
+            let mut en = Engine::new();
+            mixed(&mut en, CHAIN / 5);
+            en.run();
+            black_box(en.now())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, engine_benches);
+criterion_main!(benches);

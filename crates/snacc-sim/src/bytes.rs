@@ -1,0 +1,544 @@
+//! Zero-copy payload buffers.
+//!
+//! Every hop of the simulated datapath (Ethernet frame → AXIS beat →
+//! streamer buffer → PCIe → NVMe) used to own a fresh `Vec<u8>`, so a
+//! 4 KiB page was memcpy'd once per layer. [`Payload`] is an immutable,
+//! cheaply-cloneable view into shared bytes: a reference-counted backing
+//! buffer plus an `(offset, len)` window. Cloning, slicing and splitting
+//! are O(1) and allocation-free; the bytes are copied at most once — at
+//! ingress, or never for pattern-generated synthetic data.
+//!
+//! `Payload` dereferences to `[u8]`, so read sites (`&beat.data[0..8]`,
+//! iteration, `len()`) work unchanged. The type is single-threaded by
+//! design (`Rc`, not `Arc`): the DES engine and everything it models are
+//! single-threaded, and the workspace lints (SL003) keep atomics out of
+//! simulation crates.
+
+use std::cell::OnceCell;
+use std::fmt;
+use std::ops::{Deref, Range};
+use std::rc::Rc;
+
+/// A lazily materialised synthetic segment: bytes are a pure function of
+/// `(seed, offset)`, generated once on first access and shared by every
+/// clone/slice of the segment.
+struct PatternSeg {
+    seed: u64,
+    total_len: usize,
+    cache: OnceCell<Box<[u8]>>,
+}
+
+impl PatternSeg {
+    fn bytes(&self) -> &[u8] {
+        self.cache.get_or_init(|| {
+            // Filling a preallocated buffer in place vectorises;
+            // collecting the iterator byte-by-byte does not.
+            let mut v = vec![0u8; self.total_len];
+            for (i, b) in v.iter_mut().enumerate() {
+                *b = pattern_byte(self.seed, i as u64);
+            }
+            v.into_boxed_slice()
+        })
+    }
+}
+
+/// Deterministic pattern byte for (seed, offset) — the generator behind
+/// [`Payload::pattern`]. Cheap, seed-dependent, and position-sensitive so
+/// shifted windows differ.
+#[inline]
+pub fn pattern_byte(seed: u64, offset: u64) -> u8 {
+    let x = offset.wrapping_add(seed);
+    (x ^ (x >> 7) ^ 0x5a) as u8
+}
+
+#[derive(Clone)]
+enum Repr {
+    Bytes(Rc<[u8]>),
+    Pattern(Rc<PatternSeg>),
+}
+
+/// An immutable, cheaply-cloneable byte buffer: shared backing storage
+/// plus an `(offset, len)` window. See the module docs.
+#[derive(Clone)]
+pub struct Payload {
+    repr: Repr,
+    off: usize,
+    len: usize,
+}
+
+impl Payload {
+    /// The empty payload (no backing allocation).
+    pub fn empty() -> Payload {
+        thread_local! {
+            static EMPTY: Rc<[u8]> = Rc::from(Vec::new().into_boxed_slice());
+        }
+        Payload {
+            repr: Repr::Bytes(EMPTY.with(|e| e.clone())),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Take ownership of `v` without copying.
+    pub fn from_vec(v: Vec<u8>) -> Payload {
+        let len = v.len();
+        Payload {
+            repr: Repr::Bytes(Rc::from(v.into_boxed_slice())),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Share an existing reference-counted buffer without copying.
+    pub fn from_rc(b: Rc<[u8]>) -> Payload {
+        let len = b.len();
+        Payload {
+            repr: Repr::Bytes(b),
+            off: 0,
+            len,
+        }
+    }
+
+    /// A lazily generated synthetic segment of `len` bytes: byte `i` is
+    /// [`pattern_byte`]`(seed, i)`. Nothing is allocated until the bytes
+    /// are first read; all clones and slices share one materialisation.
+    pub fn pattern(seed: u64, len: usize) -> Payload {
+        Payload {
+            repr: Repr::Pattern(Rc::new(PatternSeg {
+                seed,
+                total_len: len,
+                cache: OnceCell::new(),
+            })),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Window length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the window empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bytes of this window. Pattern segments materialise (once, for
+    /// all sharers) on first call.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Bytes(b) => &b[self.off..self.off + self.len],
+            Repr::Pattern(p) => &p.bytes()[self.off..self.off + self.len],
+        }
+    }
+
+    /// Zero-copy sub-window. Panics if the range exceeds the window,
+    /// matching `&v[range]` semantics on `Vec<u8>`.
+    pub fn slice(&self, range: Range<usize>) -> Payload {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice {range:?} out of bounds for payload of {} bytes",
+            self.len
+        );
+        Payload {
+            repr: self.repr.clone(),
+            off: self.off + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// Zero-copy split into `[0, mid)` and `[mid, len)`. Panics if `mid`
+    /// exceeds the window, matching `slice::split_at`.
+    pub fn split_at(&self, mid: usize) -> (Payload, Payload) {
+        (self.slice(0..mid), self.slice(mid..self.len))
+    }
+
+    /// Concatenate parts. Adjacent windows of the same backing buffer are
+    /// merged zero-copy; anything else copies into one fresh buffer (the
+    /// only copying operation on this type besides ingress).
+    pub fn concat(parts: &[Payload]) -> Payload {
+        match parts {
+            [] => Payload::empty(),
+            [one] => one.clone(),
+            [first, rest @ ..] => {
+                // Zero-copy when every part continues the previous one in
+                // the same backing buffer.
+                let mut end = first.off + first.len;
+                let contiguous = rest.iter().all(|p| {
+                    let adj = same_backing(&first.repr, &p.repr) && p.off == end;
+                    end = p.off + p.len;
+                    adj
+                });
+                if contiguous {
+                    let total: usize = parts.iter().map(|p| p.len).sum();
+                    return Payload {
+                        repr: first.repr.clone(),
+                        off: first.off,
+                        len: total,
+                    };
+                }
+                let mut v = Vec::with_capacity(parts.iter().map(|p| p.len).sum());
+                for p in parts {
+                    v.extend_from_slice(p.as_slice());
+                }
+                Payload::from_vec(v)
+            }
+        }
+    }
+
+    /// Copy the window out into an owned `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+/// A FIFO of [`Payload`] segments addressable as one logical byte stream.
+///
+/// Replaces `VecDeque<u8>` staging buffers in the models: refilling is an
+/// O(1) segment push instead of a per-byte `extend`, and [`take`] carves
+/// the front `n` bytes out as a `Payload` — zero-copy whenever the bytes
+/// sit in one segment or in adjacent windows of the same backing buffer
+/// (the common case when an upstream producer sliced one large buffer
+/// into frames).
+///
+/// [`take`]: PayloadQueue::take
+#[derive(Default)]
+pub struct PayloadQueue {
+    segs: std::collections::VecDeque<Payload>,
+    len: usize,
+}
+
+impl PayloadQueue {
+    /// An empty queue.
+    pub fn new() -> PayloadQueue {
+        PayloadQueue::default()
+    }
+
+    /// Total buffered bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the queue empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a segment at the back (O(1), no copy).
+    pub fn push_back(&mut self, p: Payload) {
+        self.len += p.len();
+        if !p.is_empty() {
+            self.segs.push_back(p);
+        }
+    }
+
+    /// Return a segment to the front (O(1), no copy) — the undo of a
+    /// [`take`] whose consumer refused the bytes.
+    ///
+    /// [`take`]: PayloadQueue::take
+    pub fn push_front(&mut self, p: Payload) {
+        self.len += p.len();
+        if !p.is_empty() {
+            self.segs.push_front(p);
+        }
+    }
+
+    /// Remove and return the front `n` bytes as one [`Payload`]. Panics if
+    /// fewer than `n` bytes are buffered, matching `drain(..n)` semantics.
+    pub fn take(&mut self, n: usize) -> Payload {
+        assert!(
+            n <= self.len,
+            "take({n}) out of bounds for {} bytes",
+            self.len
+        );
+        if n == 0 {
+            return Payload::empty();
+        }
+        self.len -= n;
+        // Fast path: the front segment covers the request.
+        let first_len = self.segs.front().map_or(0, Payload::len);
+        if first_len > n {
+            let first = self.segs.front_mut().expect("len accounted");
+            let head = first.slice(0..n);
+            *first = first.slice(n..first_len);
+            return head;
+        }
+        if first_len == n {
+            return self.segs.pop_front().expect("len accounted");
+        }
+        // Slow path: gather segments; concat merges adjacent windows
+        // zero-copy and copies otherwise.
+        let mut parts = Vec::new();
+        let mut need = n;
+        while need > 0 {
+            let seg = self.segs.pop_front().expect("len accounted");
+            if seg.len() <= need {
+                need -= seg.len();
+                parts.push(seg);
+            } else {
+                let (head, tail) = seg.split_at(need);
+                self.segs.push_front(tail);
+                parts.push(head);
+                need = 0;
+            }
+        }
+        Payload::concat(&parts)
+    }
+}
+
+fn same_backing(a: &Repr, b: &Repr) -> bool {
+    match (a, b) {
+        (Repr::Bytes(x), Repr::Bytes(y)) => Rc::ptr_eq(x, y),
+        (Repr::Pattern(x), Repr::Pattern(y)) => Rc::ptr_eq(x, y),
+        _ => false,
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::empty()
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        Payload::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(b: &[u8]) -> Payload {
+        Payload::from_vec(b.to_vec())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Payload {
+    fn from(b: [u8; N]) -> Payload {
+        Payload::from_vec(b.to_vec())
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(b: &[u8; N]) -> Payload {
+        Payload::from_vec(b.to_vec())
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Payload {}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Payload {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lazy = matches!(&self.repr, Repr::Pattern(p) if p.cache.get().is_none());
+        if lazy {
+            // Don't materialise a segment just to debug-print it.
+            if let Repr::Pattern(p) = &self.repr {
+                return write!(
+                    f,
+                    "Payload::pattern(seed={:#x}, off={}, len={})",
+                    p.seed, self.off, self.len
+                );
+            }
+        }
+        write!(f, "Payload({} B: {:02x?})", self.len, {
+            let s = self.as_slice();
+            &s[..s.len().min(16)]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let p = Payload::from_vec(vec![1, 2, 3, 4]);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.as_slice(), &[1, 2, 3, 4]);
+        assert_eq!(p.to_vec(), vec![1, 2, 3, 4]);
+        assert_eq!(p, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        let p = Payload::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.as_slice(), &[] as &[u8]);
+        assert_eq!(Payload::default(), p);
+    }
+
+    #[test]
+    fn clone_shares_backing() {
+        let p = Payload::from_vec((0u8..100).collect());
+        let q = p.clone();
+        let (a, b) = q.split_at(40);
+        // All views read the same backing without copies.
+        assert!(same_backing(&p.repr, &a.repr));
+        assert!(same_backing(&p.repr, &b.repr));
+        assert_eq!(a.as_slice(), &p.as_slice()[..40]);
+        assert_eq!(b.as_slice(), &p.as_slice()[40..]);
+    }
+
+    #[test]
+    fn slice_matches_vec_semantics() {
+        let v: Vec<u8> = (0u8..32).collect();
+        let p = Payload::from_vec(v.clone());
+        assert_eq!(p.slice(4..9).as_slice(), &v[4..9]);
+        assert_eq!(p.slice(0..0).len(), 0);
+        assert_eq!(p.slice(32..32).len(), 0);
+        // Slices of slices compose.
+        assert_eq!(p.slice(8..24).slice(2..6).as_slice(), &v[10..14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Payload::from_vec(vec![0; 4]).slice(2..6);
+    }
+
+    #[test]
+    fn concat_adjacent_is_zero_copy() {
+        let p = Payload::from_vec((0u8..64).collect());
+        let (a, b) = p.split_at(17);
+        let joined = Payload::concat(&[a, b]);
+        assert!(same_backing(&joined.repr, &p.repr));
+        assert_eq!(joined, p);
+    }
+
+    #[test]
+    fn concat_disjoint_copies() {
+        let a = Payload::from_vec(vec![1, 2]);
+        let b = Payload::from_vec(vec![3]);
+        let j = Payload::concat(&[a, b, Payload::empty()]);
+        assert_eq!(j.as_slice(), &[1, 2, 3]);
+        assert_eq!(Payload::concat(&[]), Payload::empty());
+    }
+
+    #[test]
+    fn pattern_is_lazy_and_shared() {
+        let p = Payload::pattern(0xfeed, 4096);
+        // Not materialised yet (Debug must not force it).
+        let dbg = format!("{p:?}");
+        assert!(dbg.contains("pattern"), "{dbg}");
+        let s = p.slice(100..108);
+        let expect: Vec<u8> = (100u64..108).map(|i| pattern_byte(0xfeed, i)).collect();
+        assert_eq!(s.as_slice(), &expect[..]);
+        // Clones observe the same materialisation.
+        assert_eq!(p.slice(100..108), s);
+    }
+
+    #[test]
+    fn equality_is_by_bytes() {
+        let a = Payload::from_vec(vec![5, 6, 7]);
+        let b = Payload::from_vec(vec![5, 6, 7]);
+        assert_eq!(a, b);
+        let pat = Payload::pattern(0, 3);
+        let mat = Payload::from_vec(pat.to_vec());
+        assert_eq!(pat, mat);
+    }
+
+    #[test]
+    fn deref_enables_slice_ops() {
+        let p = Payload::from_vec(vec![9, 8, 7, 6]);
+        assert_eq!(p[1], 8);
+        assert_eq!(&p[1..3], &[8, 7]);
+        assert_eq!(p.iter().copied().max(), Some(9));
+    }
+
+    #[test]
+    fn queue_matches_vecdeque_semantics() {
+        let mut q = PayloadQueue::new();
+        let mut model: Vec<u8> = Vec::new();
+        let backing = Payload::from_vec((0u8..=255).collect());
+        for i in 0..8 {
+            let seg = backing.slice(i * 32..(i + 1) * 32);
+            model.extend_from_slice(seg.as_slice());
+            q.push_back(seg);
+        }
+        assert_eq!(q.len(), 256);
+        // Takes of varying sizes, spanning segment boundaries.
+        for n in [1usize, 31, 32, 33, 64, 95] {
+            let got = q.take(n);
+            let want: Vec<u8> = model.drain(..n).collect();
+            assert_eq!(got.to_vec(), want);
+        }
+        assert_eq!(q.len(), model.len());
+        let rest = q.take(q.len());
+        assert_eq!(rest.to_vec(), model);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_take_of_adjacent_segments_is_zero_copy() {
+        let backing = Payload::from_vec((0u8..128).collect());
+        let mut q = PayloadQueue::new();
+        q.push_back(backing.slice(0..50));
+        q.push_back(backing.slice(50..100));
+        let got = q.take(80); // spans both segments
+        assert!(same_backing(&got.repr, &backing.repr));
+        assert_eq!(got.to_vec(), backing.as_slice()[..80].to_vec());
+        assert_eq!(q.len(), 20);
+    }
+
+    #[test]
+    fn queue_push_front_undoes_take() {
+        let mut q = PayloadQueue::new();
+        q.push_back(Payload::from_vec(vec![1, 2, 3, 4, 5]));
+        let head = q.take(3);
+        q.push_front(head);
+        assert_eq!(q.take(5).to_vec(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn queue_take_beyond_len_panics() {
+        let mut q = PayloadQueue::new();
+        q.push_back(Payload::from_vec(vec![0; 4]));
+        q.take(5);
+    }
+}

@@ -38,12 +38,14 @@
 //! assert_eq!(engine.now().as_ns(), 10);
 //! ```
 
+pub mod bytes;
 pub mod engine;
 pub mod link;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use bytes::{Payload, PayloadQueue};
 pub use engine::{Engine, EngineError};
 pub use link::{Bandwidth, SharedLink};
 pub use rng::SimRng;

@@ -78,7 +78,7 @@ fn main() {
             match axis::pop(&ports.rd_data, &mut sys.en) {
                 Some(beat) => {
                     let done = beat.last;
-                    page.extend(beat.data);
+                    page.extend_from_slice(&beat.data);
                     if done {
                         break;
                     }

@@ -35,7 +35,7 @@ fn main() {
         // Collect bytes for the current batch.
         while (acc.len() as u64) < batch {
             if let Some(f) = mac::pop_frame(&rx, &mut sys.en) {
-                acc.extend(f.payload);
+                acc.extend_from_slice(&f.payload);
             } else if !sys.en.step() {
                 panic!("source dried up early");
             }
@@ -53,7 +53,7 @@ fn main() {
                 &ports.wr_in,
                 &mut sys.en,
                 StreamBeat {
-                    data: chunk.to_vec(),
+                    data: chunk.into(),
                     last,
                 },
             ) {

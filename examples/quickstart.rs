@@ -31,7 +31,7 @@ fn main() {
             &ports.wr_in,
             &mut sys.en,
             StreamBeat {
-                data: chunk.to_vec(),
+                data: chunk.into(),
                 last,
             },
         ) {
@@ -53,7 +53,7 @@ fn main() {
         match axis::pop(&ports.rd_data, &mut sys.en) {
             Some(beat) => {
                 let done = beat.last;
-                back.extend(beat.data);
+                back.extend_from_slice(&beat.data);
                 if done {
                     break;
                 }

@@ -23,7 +23,7 @@ fn write_and_verify(variant: StreamerVariant, len: usize, addr: u64) {
             &ports.wr_in,
             &mut sys.en,
             StreamBeat {
-                data: chunk.to_vec(),
+                data: chunk.into(),
                 last,
             },
         ) {
@@ -47,7 +47,7 @@ fn write_and_verify(variant: StreamerVariant, len: usize, addr: u64) {
         match axis::pop(&ports.rd_data, &mut sys.en) {
             Some(b) => {
                 let done = b.last;
-                back.extend(b.data);
+                back.extend_from_slice(&b.data);
                 if done {
                     break;
                 }
@@ -102,7 +102,7 @@ fn ooo_extension_roundtrip() {
             match axis::pop(&ports.rd_data, &mut sys.en) {
                 Some(b) => {
                     let done = b.last;
-                    page.extend(b.data);
+                    page.extend_from_slice(&b.data);
                     if done {
                         break;
                     }
