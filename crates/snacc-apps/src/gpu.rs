@@ -126,5 +126,7 @@ pub fn run_gpu_case_study(cfg: CaseStudyConfig, model: GpuModel, seed: u64) -> C
         correct,
         classified: c.records.len() as u64,
         pcie_bytes,
+        resyncs: c.resyncs(),
+        bytes_skipped: c.bytes_skipped(),
     }
 }

@@ -472,5 +472,7 @@ pub fn run_spdk_case_study(cfg: CaseStudyConfig, seed: u64) -> CaseStudyReport {
         correct,
         classified: c.records.len() as u64,
         pcie_bytes,
+        resyncs: c.resyncs(),
+        bytes_skipped: c.bytes_skipped(),
     }
 }

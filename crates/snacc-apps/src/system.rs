@@ -9,6 +9,7 @@ use snacc_core::config::{StreamerConfig, StreamerVariant};
 use snacc_core::hostinit::SnaccHostDriver;
 use snacc_core::plugin::NvmeSubsystem;
 use snacc_core::streamer::StreamerHandle;
+use snacc_faults::FaultPlan;
 use snacc_fpga::tapasco::TapascoShell;
 use snacc_mem::{AddrRange, HostMemory};
 use snacc_nvme::{NvmeDeviceHandle, NvmeProfile};
@@ -52,6 +53,16 @@ impl SystemConfig {
             enforce_iommu: true,
             seed: 0x5aacc,
         }
+    }
+
+    /// The paper's setup with a fault campaign's retry policy wired into
+    /// the streamer. The policy must be set *before* bring-up (it is
+    /// consumed when the streamer is constructed); the plan's injectors
+    /// are installed afterwards with [`SnaccSystem::inject_faults`].
+    pub fn snacc_faulted(variant: StreamerVariant, plan: &FaultPlan) -> Self {
+        let mut cfg = Self::snacc(variant);
+        cfg.streamer.retry = plan.retry;
+        cfg
     }
 }
 
@@ -123,6 +134,15 @@ impl SnaccSystem {
     /// measured phase).
     pub fn reset_pcie_meters(&mut self) {
         self.fabric.borrow_mut().reset_meters();
+    }
+
+    /// Install a fault plan's NVMe and PCIe injectors. Call after
+    /// bring-up so admin commands and queue setup never see faults;
+    /// Ethernet faults apply to pipeline MACs separately (see
+    /// [`FaultPlan::apply_mac`]).
+    pub fn inject_faults(&mut self, plan: &FaultPlan) {
+        plan.apply_nvme(&self.nvme);
+        plan.apply_fabric(&mut self.fabric.borrow_mut());
     }
 }
 

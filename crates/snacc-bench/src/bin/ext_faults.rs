@@ -1,0 +1,87 @@
+//! Extension — fault-campaign sweep: sequential reads through the SNAcc
+//! streamer under increasing NVMe transient-error rates, reporting
+//! bandwidth alongside the full recovery accounting. Checks the
+//! subsystem's core invariant on every point: each injected failure is
+//! either retried or given up (`injected == retries + gave_up`), so no
+//! fault can pass silently.
+//!
+//! With `--faults <plan.toml>` the sweep is replaced by a single run of
+//! the given campaign (any layers: NVMe, PCIe, retry policy all honoured).
+
+use snacc_bench::workloads::{snacc_seq_bandwidth_with, Dir, FaultSummary};
+use snacc_bench::{print_table, BenchRecord, Telemetry};
+use snacc_core::config::StreamerVariant;
+use snacc_faults::FaultPlan;
+
+fn campaign(label: &str, plan: &FaultPlan, total: u64) -> (BenchRecord, FaultSummary) {
+    eprintln!("[ext_faults] running {label}...");
+    let (series, summary) =
+        snacc_seq_bandwidth_with(StreamerVariant::Uram, Dir::Read, total, Some(plan));
+    let s = summary.expect("a plan was installed");
+    eprintln!("[ext_faults] {label}: {s}");
+    assert_eq!(
+        s.injected_failures(),
+        s.retries + s.gave_up,
+        "{label}: every injected failure must be retried or given up"
+    );
+    let bw = series.iter().sum::<f64>() / series.len() as f64;
+    (BenchRecord::new("ext_faults", label, bw, None, "GB/s"), s)
+}
+
+fn main() {
+    let telemetry = Telemetry::from_args();
+    let total: u64 = if std::env::var("SNACC_QUICK").is_ok() {
+        512 << 20
+    } else {
+        1 << 30
+    };
+
+    let mut records = Vec::new();
+    let mut summaries = Vec::new();
+    if let Some(plan) = telemetry.fault_plan() {
+        let (r, s) = campaign("--faults plan", plan, total);
+        records.push(r);
+        summaries.push(("--faults plan".to_string(), s));
+    } else {
+        // Baseline plus an error-rate sweep under a 3-attempt retry
+        // budget. At these rates a command needs 4 consecutive failed
+        // attempts to be lost, so recovery should stay total until the
+        // highest rates.
+        let baseline = FaultPlan::parse("seed = 7").expect("static plan");
+        let (r, s) = campaign("error_rate 0", &baseline, total);
+        records.push(r);
+        summaries.push(("error_rate 0".to_string(), s));
+        for rate in [0.01f64, 0.02, 0.05, 0.10, 0.20] {
+            let toml = format!(
+                "seed = 7\n[retry]\nmax_retries = 3\nbackoff_us = 10\n\
+                 [nvme]\nerror_rate = {rate}\n"
+            );
+            let plan = FaultPlan::parse(&toml).expect("generated plan");
+            let label = format!("error_rate {rate}");
+            let (r, s) = campaign(&label, &plan, total);
+            records.push(r);
+            summaries.push((label, s));
+        }
+    }
+
+    print_table(
+        "Ext — sequential read bandwidth under NVMe fault injection",
+        &records,
+    );
+    println!(
+        "{:<16} {:>9} {:>8} {:>10} {:>8}",
+        "configuration", "injected", "retries", "recovered", "gave_up"
+    );
+    for (label, s) in &summaries {
+        println!(
+            "{:<16} {:>9} {:>8} {:>10} {:>8}",
+            label,
+            s.injected_failures(),
+            s.retries,
+            s.recovered,
+            s.gave_up
+        );
+    }
+    snacc_bench::report::save_json(&records);
+    telemetry.finish();
+}

@@ -2,7 +2,7 @@
 //! on-board DRAM / host DRAM vs SPDK, read and write. Write bandwidth is
 //! reported as the paper's alternating lo/hi pair.
 
-use snacc_bench::workloads::{snacc_seq_bandwidth, spdk_seq_series, Dir};
+use snacc_bench::workloads::{snacc_seq_bandwidth_with, spdk_seq_series, Dir};
 use snacc_bench::{print_table, BenchRecord, Telemetry};
 use snacc_core::config::StreamerVariant;
 
@@ -90,7 +90,16 @@ fn main() {
         .map(|(label, dir, variant, paper_hi, paper_lo)| {
             eprintln!("[fig4a] running {label}...");
             let mut series = match variant {
-                Some(v) => snacc_seq_bandwidth(v, dir, total),
+                Some(v) => {
+                    let (series, faults) =
+                        snacc_seq_bandwidth_with(v, dir, total, telemetry.fault_plan());
+                    if let Some(s) = faults {
+                        eprintln!("[fig4a] {label} faults: {s}");
+                    }
+                    series
+                }
+                // The SPDK baseline has no streamer; campaigns target the
+                // SNAcc rows only.
                 None => spdk_seq_series(dir, total, 42),
             };
             if dir == Dir::Write && series.len() > 1 {

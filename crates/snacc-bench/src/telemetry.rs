@@ -12,7 +12,13 @@
 //! key-sorted JSON snapshot, and the perf record merged into the given
 //! JSON file keyed by binary name (so several figure binaries can append
 //! to one `BENCH_*.json`).
+//!
+//! `--faults <plan.toml>` loads a [`FaultPlan`] (see `snacc-faults` and
+//! the shipped `plans/*.toml`); binaries that support fault campaigns
+//! fetch it with [`Telemetry::fault_plan`] and wire it into their
+//! systems.
 
+use snacc_faults::FaultPlan;
 use snacc_trace::{MetricsRegistry, Tracer};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -23,6 +29,7 @@ pub struct Telemetry {
     trace_path: Option<PathBuf>,
     metrics_path: Option<PathBuf>,
     perf_path: Option<PathBuf>,
+    fault_plan: Option<FaultPlan>,
     started: Instant,
 }
 
@@ -30,6 +37,7 @@ struct Flags {
     trace_path: Option<PathBuf>,
     metrics_path: Option<PathBuf>,
     perf_path: Option<PathBuf>,
+    faults_path: Option<PathBuf>,
 }
 
 fn parse(args: impl Iterator<Item = String>) -> Flags {
@@ -37,6 +45,7 @@ fn parse(args: impl Iterator<Item = String>) -> Flags {
         trace_path: None,
         metrics_path: None,
         perf_path: None,
+        faults_path: None,
     };
     let mut args = args;
     while let Some(a) = args.next() {
@@ -52,6 +61,10 @@ fn parse(args: impl Iterator<Item = String>) -> Flags {
             f.perf_path = args.next().map(PathBuf::from);
         } else if let Some(p) = a.strip_prefix("--perf-json=") {
             f.perf_path = Some(PathBuf::from(p));
+        } else if a == "--faults" {
+            f.faults_path = args.next().map(PathBuf::from);
+        } else if let Some(p) = a.strip_prefix("--faults=") {
+            f.faults_path = Some(PathBuf::from(p));
         }
     }
     f
@@ -123,12 +136,27 @@ impl Telemetry {
         if f.metrics_path.is_some() {
             snacc_trace::install_registry(MetricsRegistry::new());
         }
+        let fault_plan = f.faults_path.as_ref().map(|p| {
+            let plan = FaultPlan::load(p).unwrap_or_else(|e| panic!("--faults {e}"));
+            eprintln!(
+                "(faults: campaign from {}, seed {})",
+                p.display(),
+                plan.seed
+            );
+            plan
+        });
         Telemetry {
             trace_path: f.trace_path,
             metrics_path: f.metrics_path,
             perf_path: f.perf_path,
+            fault_plan,
             started: Instant::now(),
         }
+    }
+
+    /// The fault campaign requested with `--faults <plan.toml>`, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Must the binary run its simulations sequentially? True when a
@@ -204,6 +232,10 @@ mod tests {
         assert_eq!(f.perf_path, Some(PathBuf::from("p.json")));
         let f = parse(strings(&["--perf-json=q.json"]));
         assert_eq!(f.perf_path, Some(PathBuf::from("q.json")));
+        let f = parse(strings(&["--faults", "plans/flaky_ssd.toml"]));
+        assert_eq!(f.faults_path, Some(PathBuf::from("plans/flaky_ssd.toml")));
+        let f = parse(strings(&["--faults=x.toml"]));
+        assert_eq!(f.faults_path, Some(PathBuf::from("x.toml")));
     }
 
     #[test]

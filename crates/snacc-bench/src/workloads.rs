@@ -3,6 +3,7 @@
 use snacc_apps::system::{layout, HostSystem, SnaccSystem, SystemConfig};
 use snacc_core::config::StreamerVariant;
 use snacc_core::streamer::encode_read_cmd;
+use snacc_faults::FaultPlan;
 use snacc_fpga::axis::{self, StreamBeat};
 use snacc_nvme::NvmeProfile;
 use snacc_sim::{SimDuration, SimTime};
@@ -136,11 +137,121 @@ pub fn streamer_read(sys: &mut SnaccSystem, addr: u64, len: u64) {
     assert_eq!(got, len);
 }
 
+/// Fault-campaign accounting gathered after a faulted run: injections at
+/// each layer against what the streamer did about them.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultSummary {
+    /// NVMe command errors injected by the device.
+    pub nvme_errors: u64,
+    /// NVMe latency spikes injected by the device.
+    pub nvme_spikes: u64,
+    /// PCIe completion timeouts injected by the fabric.
+    pub pcie_timeouts: u64,
+    /// Bulk TLPs slowed inside a degradation window.
+    pub pcie_degraded: u64,
+    /// Failed completions observed by the streamer.
+    pub streamer_errors: u64,
+    /// Streamer command timeouts fired.
+    pub streamer_timeouts: u64,
+    /// Streamer retry attempts.
+    pub retries: u64,
+    /// Commands that completed after at least one retry.
+    pub recovered: u64,
+    /// Commands abandoned after exhausting the retry budget.
+    pub gave_up: u64,
+}
+
+impl FaultSummary {
+    /// Snapshot the accounting counters from a faulted system. The
+    /// streamer's metric counters live in the process-wide registry and
+    /// accumulate across systems; take a snapshot at the start of the
+    /// measured window and diff with [`FaultSummary::since`].
+    pub fn from_system(sys: &SnaccSystem) -> FaultSummary {
+        let nvme = sys.nvme.fault_stats();
+        let pcie = sys.fabric.borrow().fault_stats();
+        let m = sys.streamer.metrics();
+        FaultSummary {
+            nvme_errors: nvme.errors,
+            nvme_spikes: nvme.spikes,
+            pcie_timeouts: pcie.timeouts,
+            pcie_degraded: pcie.degraded,
+            streamer_errors: m.errors.get(),
+            streamer_timeouts: m.timeouts.get(),
+            retries: m.retries.get(),
+            recovered: m.recovered.get(),
+            gave_up: m.gave_up.get(),
+        }
+    }
+
+    /// Field-wise difference against an earlier snapshot of the same
+    /// process (all counters are monotonic).
+    pub fn since(&self, base: &FaultSummary) -> FaultSummary {
+        FaultSummary {
+            nvme_errors: self.nvme_errors - base.nvme_errors,
+            nvme_spikes: self.nvme_spikes - base.nvme_spikes,
+            pcie_timeouts: self.pcie_timeouts - base.pcie_timeouts,
+            pcie_degraded: self.pcie_degraded - base.pcie_degraded,
+            streamer_errors: self.streamer_errors - base.streamer_errors,
+            streamer_timeouts: self.streamer_timeouts - base.streamer_timeouts,
+            retries: self.retries - base.retries,
+            recovered: self.recovered - base.recovered,
+            gave_up: self.gave_up - base.gave_up,
+        }
+    }
+
+    /// Injections that surface as failed commands at the streamer (spikes
+    /// and degradation only add latency).
+    pub fn injected_failures(&self) -> u64 {
+        self.nvme_errors + self.pcie_timeouts
+    }
+}
+
+impl std::fmt::Display for FaultSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "injected {} (nvme {} + pcie {}), spikes {}, degraded {}, \
+             seen {}, timeouts {}, retries {}, recovered {}, gave_up {}",
+            self.injected_failures(),
+            self.nvme_errors,
+            self.pcie_timeouts,
+            self.nvme_spikes,
+            self.pcie_degraded,
+            self.streamer_errors,
+            self.streamer_timeouts,
+            self.retries,
+            self.recovered,
+            self.gave_up,
+        )
+    }
+}
+
 /// Sequential bandwidth through the streamer (Fig 4a): transfers `total`
 /// bytes in 1 GB requests, reporting per-GiB bandwidths (the paper's
 /// alternating write behaviour shows up as distinct per-GiB values).
 pub fn snacc_seq_bandwidth(variant: StreamerVariant, dir: Dir, total: u64) -> Vec<f64> {
-    let mut sys = SnaccSystem::bring_up(SystemConfig::snacc(variant));
+    snacc_seq_bandwidth_with(variant, dir, total, None).0
+}
+
+/// [`snacc_seq_bandwidth`] under an optional fault campaign: the plan's
+/// retry policy is wired into the streamer before bring-up and its NVMe
+/// and PCIe injectors installed afterwards (so bring-up itself never
+/// faults). Returns the per-GiB rates plus the fault accounting.
+pub fn snacc_seq_bandwidth_with(
+    variant: StreamerVariant,
+    dir: Dir,
+    total: u64,
+    plan: Option<&FaultPlan>,
+) -> (Vec<f64>, Option<FaultSummary>) {
+    let cfg = match plan {
+        Some(p) => SystemConfig::snacc_faulted(variant, p),
+        None => SystemConfig::snacc(variant),
+    };
+    let mut sys = SnaccSystem::bring_up(cfg);
+    if let Some(p) = plan {
+        sys.inject_faults(p);
+    }
+    let fault_base = plan.map(|_| FaultSummary::from_system(&sys));
     if dir == Dir::Read {
         // Pre-populate media (cold data still hits the channel ceiling).
         sys.nvme.with(|d| d.nand_mut().prewarm(0, total, 0xA5));
@@ -161,8 +272,9 @@ pub fn snacc_seq_bandwidth(variant: StreamerVariant, dir: Dir, total: u64) -> Ve
         rates.push(n as f64 / 1e9 / dt);
         off += n;
     }
+    let summary = fault_base.map(|base| FaultSummary::from_system(&sys).since(&base));
     scrub_snacc(&mut sys);
-    rates
+    (rates, summary)
 }
 
 /// Random 4 KiB bandwidth through the streamer (Fig 4b): `total` bytes in

@@ -44,6 +44,60 @@ pub enum RetirementMode {
     OutOfOrder,
 }
 
+/// Bounded-retry policy for commands that complete with a *transient*
+/// error status (see `snacc_nvme::spec::Status::is_transient`).
+///
+/// Disabled by default ([`RetryPolicy::disabled`]): a failed command is
+/// then retired with its error status exactly as before this policy
+/// existed, so happy-path runs are event-for-event identical. Fault
+/// campaigns enable it to exercise the recovery path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-issue a transiently failed command at most this many times
+    /// before giving up (0 = retries off).
+    pub max_retries: u32,
+    /// Base backoff before the first retry; attempt `n` waits
+    /// `backoff << n` of *simulated* time (exponential, deterministic).
+    pub backoff: SimDuration,
+    /// Declare a command lost if no CQE arrives within this window and
+    /// retry it. `None` (the default) schedules no timeout events at all
+    /// — pending timers would otherwise stretch `Engine::run` end times
+    /// and skew bandwidth figures.
+    pub cmd_timeout: Option<SimDuration>,
+}
+
+impl RetryPolicy {
+    /// No retries, no timeouts — the pre-fault-injection behaviour.
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: SimDuration::from_ns(0),
+            cmd_timeout: None,
+        }
+    }
+
+    /// A sensible campaign default: 3 attempts, 10 µs base backoff.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff: SimDuration::from_us(10),
+            cmd_timeout: None,
+        }
+    }
+
+    /// Is any retry behaviour enabled?
+    pub fn enabled(&self) -> bool {
+        self.max_retries > 0 || self.cmd_timeout.is_some()
+    }
+
+    /// Backoff before retry attempt `attempt` (1-based): `backoff <<
+    /// (attempt - 1)`, with the doubling capped at 2^20× so pathological
+    /// retry counts cannot overflow the picosecond clock.
+    pub fn backoff_for(&self, attempt: u32) -> SimDuration {
+        self.backoff * (1u64 << attempt.saturating_sub(1).min(20))
+    }
+}
+
 /// Full streamer configuration.
 #[derive(Clone, Debug)]
 pub struct StreamerConfig {
@@ -64,6 +118,9 @@ pub struct StreamerConfig {
     pub cmd_issue_latency: SimDuration,
     /// Completion-processing latency per CQE.
     pub completion_latency: SimDuration,
+    /// Retry/timeout policy for transiently failed commands (disabled by
+    /// default — fault campaigns opt in).
+    pub retry: RetryPolicy,
 }
 
 impl StreamerConfig {
@@ -78,6 +135,7 @@ impl StreamerConfig {
             stream_chunk: 64 << 10,
             cmd_issue_latency: SimDuration::from_ns(100),
             completion_latency: SimDuration::from_ns(50),
+            retry: RetryPolicy::disabled(),
         }
     }
 
@@ -135,6 +193,19 @@ mod tests {
         let c = StreamerConfig::snacc_ooo(StreamerVariant::Uram);
         assert_eq!(c.retirement, RetirementMode::OutOfOrder);
         assert!(c.sq_entries > c.queue_depth);
+    }
+
+    #[test]
+    fn retry_policy_defaults_and_backoff() {
+        let c = StreamerConfig::snacc(StreamerVariant::Uram);
+        assert!(!c.retry.enabled(), "retries must default off");
+        let p = RetryPolicy::standard();
+        assert!(p.enabled());
+        assert_eq!(p.backoff_for(1), SimDuration::from_us(10));
+        assert_eq!(p.backoff_for(2), SimDuration::from_us(20));
+        assert_eq!(p.backoff_for(3), SimDuration::from_us(40));
+        // The doubling is capped, not overflowing.
+        let _ = p.backoff_for(200);
     }
 
     #[test]

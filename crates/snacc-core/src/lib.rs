@@ -26,6 +26,8 @@
 //! * [`resources`] — per-variant FPGA resource composition (Table 1).
 //! * [`multi`] — the multi-SSD extension (Sec 7).
 
+#![deny(missing_docs)]
+
 pub mod config;
 pub mod hostinit;
 pub mod multi;

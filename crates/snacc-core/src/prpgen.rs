@@ -266,7 +266,7 @@ mod tests {
             let mut page = [0u8; 4096];
             w.borrow_mut()
                 .read(&mut en, SimTime::ZERO, list_addr - prp_base, &mut page);
-            page
+            Ok(page)
         })
         .unwrap();
         assert_eq!(segs.len(), 256);

@@ -109,6 +109,49 @@ impl<T> CommandRob<T> {
         self.inflight_device
     }
 
+    /// Re-arm an in-flight command for replay under a fresh cid, keeping
+    /// its slot in the retirement order — in-order delivery survives the
+    /// retry because the command never leaves the queue. Returns the new
+    /// cid, or `None` if `cid` is unknown or already completed. The entry
+    /// stays incomplete and device-inflight, so a late CQE still carrying
+    /// the old cid becomes a harmless no-op in [`CommandRob::complete`].
+    pub fn replay(&mut self, cid: u16) -> Option<u16> {
+        if self.entries.get(&cid).is_none_or(|e| e.complete) {
+            return None;
+        }
+        let mut new_cid = self.next_cid;
+        // Skip cids still tracked (reachable when replays lap the
+        // monotonic counter inside the 4096-cid space).
+        while self.entries.contains_key(&new_cid) {
+            new_cid = (new_cid + 1) % 4096;
+        }
+        self.next_cid = (new_cid + 1) % 4096;
+        let entry = self.entries.remove(&cid).expect("checked above");
+        self.entries.insert(new_cid, entry);
+        let slot = self
+            .order
+            .iter()
+            .position(|&c| c == cid)
+            .expect("tracked cid is ordered");
+        self.order[slot] = new_cid;
+        Some(new_cid)
+    }
+
+    /// Completion flag of a tracked command (`None` if untracked).
+    pub fn is_complete(&self, cid: u16) -> Option<bool> {
+        self.entries.get(&cid).map(|e| e.complete)
+    }
+
+    /// Payload of a tracked command.
+    pub fn payload(&self, cid: u16) -> Option<&T> {
+        self.entries.get(&cid).map(|e| &e.payload)
+    }
+
+    /// Mutable payload of a tracked command.
+    pub fn payload_mut(&mut self, cid: u16) -> Option<&mut T> {
+        self.entries.get_mut(&cid).map(|e| &mut e.payload)
+    }
+
     /// The oldest command, if it has completed: `(cid, ok, &payload)`.
     pub fn front_ready(&self) -> Option<(u16, bool, &T)> {
         let cid = *self.order.front()?;
@@ -183,6 +226,36 @@ mod tests {
         let (cid, ok, _) = rob.retire_front();
         assert_eq!(cid, a);
         assert!(!ok);
+    }
+
+    #[test]
+    fn replay_preserves_retirement_order() {
+        let mut rob = CommandRob::new(4, RetirementMode::InOrder);
+        let a = rob.issue("a");
+        let b = rob.issue("b");
+        let c = rob.issue("c");
+        // The middle command failed transiently and is replayed.
+        let b2 = rob.replay(b).expect("b is replayable");
+        assert_ne!(b2, b);
+        // A late CQE for the old cid is ignored.
+        rob.complete(b, false);
+        assert_eq!(rob.inflight_device(), 3);
+        rob.complete(a, true);
+        rob.complete(c, true);
+        rob.complete(b2, true);
+        assert_eq!(rob.retire_front().2, "a");
+        let (cid, ok, p) = rob.retire_front();
+        assert_eq!((cid, ok, p), (b2, true, "b"));
+        assert_eq!(rob.retire_front().2, "c");
+    }
+
+    #[test]
+    fn replay_of_unknown_or_complete_cid_refused() {
+        let mut rob = CommandRob::new(2, RetirementMode::InOrder);
+        assert_eq!(rob.replay(9), None);
+        let a = rob.issue(());
+        rob.complete(a, true);
+        assert_eq!(rob.replay(a), None);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use snacc_nvme::queue::{CqRing, SqRing};
 use snacc_nvme::spec::{self, Cqe, IoOpcode, Sqe};
 use snacc_pcie::target::{NotifyTarget, ScratchTarget};
 use snacc_pcie::{NodeId, PcieFabric};
-use snacc_sim::{Engine, SimTime};
+use snacc_sim::{Engine, SimDuration, SimTime};
 use snacc_trace::{self as trace, CounterHandle, HistogramHandle};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -92,23 +92,73 @@ enum BufferBackend {
 enum CmdInfo {
     Read {
         region: Region,
+        /// NVMe byte address, kept so a retry can rebuild the SQE.
+        nvme_addr: u64,
         /// Bytes the user asked for in this segment.
         len: u64,
         /// This segment ends the user transfer (emit TLAST).
         last_of_xfer: bool,
         /// Open trace span (inert when tracing is off).
         span: trace::SpanId,
-        /// Issue time, for the retirement-latency histogram.
+        /// First-issue time, for the retirement-latency histogram.
         issued_at: SimTime,
+        /// Completed retry attempts (0 = the first issue is in flight).
+        attempts: u32,
     },
     Write {
         region: Region,
+        /// NVMe byte address, kept so a retry can rebuild the SQE.
+        nvme_addr: u64,
+        /// LBA-padded command length, kept so a retry can rebuild the SQE.
+        len: u64,
         xfer_id: u64,
         /// Open trace span (inert when tracing is off).
         span: trace::SpanId,
-        /// Issue time, for the retirement-latency histogram.
+        /// First-issue time, for the retirement-latency histogram.
         issued_at: SimTime,
+        /// Completed retry attempts (0 = the first issue is in flight).
+        attempts: u32,
     },
+}
+
+impl CmdInfo {
+    fn attempts(&self) -> u32 {
+        match self {
+            CmdInfo::Read { attempts, .. } | CmdInfo::Write { attempts, .. } => *attempts,
+        }
+    }
+
+    fn bump_attempts(&mut self) {
+        match self {
+            CmdInfo::Read { attempts, .. } | CmdInfo::Write { attempts, .. } => *attempts += 1,
+        }
+    }
+
+    fn issued_at(&self) -> SimTime {
+        match self {
+            CmdInfo::Read { issued_at, .. } | CmdInfo::Write { issued_at, .. } => *issued_at,
+        }
+    }
+
+    /// `(opcode, nvme_addr, len, kind, region)` for rebuilding the SQE at
+    /// replay time. The buffer region (and, for writes, its data) is
+    /// untouched by the failed attempt, so this is all a retry needs.
+    fn reissue_parts(&self) -> (IoOpcode, u64, u64, BufKind, Region) {
+        match *self {
+            CmdInfo::Read {
+                region,
+                nvme_addr,
+                len,
+                ..
+            } => (IoOpcode::Read, nvme_addr, len, BufKind::Read, region),
+            CmdInfo::Write {
+                region,
+                nvme_addr,
+                len,
+                ..
+            } => (IoOpcode::Write, nvme_addr, len, BufKind::Write, region),
+        }
+    }
 }
 
 /// A command waiting for a ROB slot / SQ slot / buffer region.
@@ -190,6 +240,19 @@ pub struct StreamerMetrics {
     pub cqes_consumed: CounterHandle,
     /// Per-command issue→retire latency in microseconds.
     pub cmd_latency_us: HistogramHandle,
+    /// Retries scheduled for transiently failed commands.
+    pub retries: CounterHandle,
+    /// Commands that completed successfully after at least one retry.
+    pub recovered: CounterHandle,
+    /// Commands abandoned with an error status (fatal status, retries
+    /// exhausted, or retries disabled) — the reported-loss counter.
+    pub gave_up: CounterHandle,
+    /// Command timeouts detected (only when `RetryPolicy::cmd_timeout`
+    /// is configured).
+    pub timeouts: CounterHandle,
+    /// First-issue → successful-completion latency (µs) of commands that
+    /// needed at least one retry.
+    pub retry_latency_us: HistogramHandle,
 }
 
 impl StreamerMetrics {
@@ -207,6 +270,11 @@ impl StreamerMetrics {
             cq_events: c("cq_events"),
             cqes_consumed: c("cqes_consumed"),
             cmd_latency_us: trace::metric_histogram(&format!("{scope}.cmd_latency_us")),
+            retries: c("retries"),
+            recovered: c("recovered"),
+            gave_up: c("gave_up"),
+            timeouts: c("timeouts"),
+            retry_latency_us: trace::metric_histogram(&format!("{scope}.retry_latency_us")),
         }
     }
 }
@@ -250,6 +318,9 @@ pub struct NvmeStreamer {
     ssd_cq_doorbell: u64,
     enabled: bool,
     pending: VecDeque<PendingCmd>,
+    /// Replayed commands whose re-issue found the SQ full; drained when
+    /// completions free slots.
+    retry_q: VecDeque<u16>,
     accum: Option<WriteAccum>,
     next_xfer_id: u64,
     xfers: HashMap<u64, XferState>,
@@ -420,6 +491,7 @@ impl StreamerHandle {
             ssd_cq_doorbell: 0,
             enabled: false,
             pending: VecDeque::new(),
+            retry_q: VecDeque::new(),
             accum: None,
             next_xfer_id: 0,
             xfers: HashMap::new(),
@@ -602,9 +674,11 @@ impl StreamerHandle {
 }
 
 impl NvmeStreamer {
-    /// Control-register offsets.
+    /// Control-register offset: enable/start.
     pub const CTRL_ENABLE: u64 = 0x00;
+    /// Control-register offset: SSD SQ-tail doorbell address.
     pub const CTRL_SQ_DB: u64 = 0x08;
+    /// Control-register offset: SSD CQ-head doorbell address.
     pub const CTRL_CQ_DB: u64 = 0x10;
 
     fn page_dev_addr(&self, kind: BufKind, offset: u64) -> u64 {
@@ -635,6 +709,80 @@ impl NvmeStreamer {
             BufKind::Read => &mut self.rd_ring,
             BufKind::Write => self.wr_ring.as_mut().unwrap_or(&mut self.rd_ring),
         }
+    }
+
+    /// ② (shared by first issue and replay re-issue): assign `cid`, set
+    /// up PRPs per variant (Sec 4.4), write the SQE into the SQ FIFO slot
+    /// and advance the tail. The caller must have checked
+    /// `!self.sq.is_full()` and rings the doorbell with the returned tail.
+    fn push_sqe(
+        &mut self,
+        en: &mut Engine,
+        mut sqe: Sqe,
+        cid: u16,
+        kind: BufKind,
+        region: Region,
+        len: u64,
+    ) -> u16 {
+        sqe.cid = cid;
+        // PRPs: on-the-fly schemes (Sec 4.4).
+        let pages = snacc_sim::ceil_div(len, PAGE);
+        sqe.prp1 = self.page_dev_addr(kind, region.offset);
+        if pages == 2 {
+            sqe.prp2 = self.page_dev_addr(kind, region.offset + PAGE);
+        } else if pages > 2 {
+            match self.cfg.variant {
+                StreamerVariant::Uram => {
+                    sqe.prp2 = UramPrpWindow::prp2_for(self.windows.prp.base, region.offset);
+                }
+                StreamerVariant::OnboardDram => {
+                    let second = self.page_dev_addr(kind, region.offset + PAGE);
+                    let slots = self.cfg.sq_entries as usize;
+                    self.regfile.as_ref().unwrap().borrow_mut().set(
+                        cid,
+                        PrpMapping::Contig {
+                            second_page: second,
+                        },
+                    );
+                    sqe.prp2 = RegFilePrpWindow::prp2_for(self.windows.prp.base, cid, slots);
+                }
+                StreamerVariant::HostDram => {
+                    let pinned = match (&self.backend, kind) {
+                        (BufferBackend::Host { rd_buf, .. }, BufKind::Read) => {
+                            rd_buf.as_ref().unwrap().clone()
+                        }
+                        (BufferBackend::Host { wr_buf, .. }, BufKind::Write) => {
+                            wr_buf.as_ref().unwrap().clone()
+                        }
+                        _ => unreachable!(),
+                    };
+                    let slots = self.cfg.sq_entries as usize;
+                    self.regfile.as_ref().unwrap().borrow_mut().set(
+                        cid,
+                        PrpMapping::Segmented {
+                            pinned,
+                            second_page_index: region.offset / PAGE + 1,
+                        },
+                    );
+                    sqe.prp2 = RegFilePrpWindow::prp2_for(self.windows.prp.base, cid, slots);
+                }
+            }
+        }
+        // Write the SQE into the SQ FIFO (local IP memory).
+        let slot_addr = self.sq.tail_addr() - self.windows.sq.base;
+        self.sq_mem
+            .borrow_mut()
+            .mem_mut()
+            .write(slot_addr, &sqe.encode());
+        if pages > 2 && trace::enabled() {
+            trace::instant(
+                en,
+                &self.track,
+                "prp.setup",
+                &[("cid", u64::from(cid)), ("pages", pages)],
+            );
+        }
+        self.sq.advance_tail()
     }
 }
 
@@ -1079,10 +1227,12 @@ fn try_issue(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
                     sqe,
                     CmdInfo::Read {
                         region,
+                        nvme_addr,
                         len,
                         last_of_xfer,
                         span,
                         issued_at,
+                        attempts: 0,
                     },
                     BufKind::Read,
                     region,
@@ -1110,9 +1260,12 @@ fn try_issue(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
                     sqe,
                     CmdInfo::Write {
                         region,
+                        nvme_addr,
+                        len,
                         xfer_id,
                         span,
                         issued_at,
+                        attempts: 0,
                     },
                     BufKind::Write,
                     region,
@@ -1122,69 +1275,10 @@ fn try_issue(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
         }
     };
 
-    let (tail, doorbell, fabric, node, delay) = {
+    let (tail, doorbell, fabric, node, delay, cid, timeout) = {
         let mut s = rc.borrow_mut();
         let cid = s.rob.issue(info);
-        let mut sqe = sqe_no_cid;
-        sqe.cid = cid;
-        // PRPs: on-the-fly schemes (Sec 4.4).
-        let pages = snacc_sim::ceil_div(len, PAGE);
-        sqe.prp1 = s.page_dev_addr(kind, region.offset);
-        if pages == 2 {
-            sqe.prp2 = s.page_dev_addr(kind, region.offset + PAGE);
-        } else if pages > 2 {
-            match s.cfg.variant {
-                StreamerVariant::Uram => {
-                    sqe.prp2 = UramPrpWindow::prp2_for(s.windows.prp.base, region.offset);
-                }
-                StreamerVariant::OnboardDram => {
-                    let second = s.page_dev_addr(kind, region.offset + PAGE);
-                    let slots = s.cfg.sq_entries as usize;
-                    s.regfile.as_ref().unwrap().borrow_mut().set(
-                        cid,
-                        PrpMapping::Contig {
-                            second_page: second,
-                        },
-                    );
-                    sqe.prp2 = RegFilePrpWindow::prp2_for(s.windows.prp.base, cid, slots);
-                }
-                StreamerVariant::HostDram => {
-                    let pinned = match (&s.backend, kind) {
-                        (BufferBackend::Host { rd_buf, .. }, BufKind::Read) => {
-                            rd_buf.as_ref().unwrap().clone()
-                        }
-                        (BufferBackend::Host { wr_buf, .. }, BufKind::Write) => {
-                            wr_buf.as_ref().unwrap().clone()
-                        }
-                        _ => unreachable!(),
-                    };
-                    let slots = s.cfg.sq_entries as usize;
-                    s.regfile.as_ref().unwrap().borrow_mut().set(
-                        cid,
-                        PrpMapping::Segmented {
-                            pinned,
-                            second_page_index: region.offset / PAGE + 1,
-                        },
-                    );
-                    sqe.prp2 = RegFilePrpWindow::prp2_for(s.windows.prp.base, cid, slots);
-                }
-            }
-        }
-        // Write the SQE into the SQ FIFO (local IP memory).
-        let slot_addr = s.sq.tail_addr() - s.windows.sq.base;
-        s.sq_mem
-            .borrow_mut()
-            .mem_mut()
-            .write(slot_addr, &sqe.encode());
-        if pages > 2 && trace::enabled() {
-            trace::instant(
-                en,
-                &s.track,
-                "prp.setup",
-                &[("cid", u64::from(cid)), ("pages", pages)],
-            );
-        }
-        let tail = s.sq.advance_tail();
+        let tail = s.push_sqe(en, sqe_no_cid, cid, kind, region, len);
         s.metrics.cmds_issued.inc();
         match kind {
             BufKind::Read => s.metrics.read_cmds.inc(),
@@ -1198,6 +1292,8 @@ fn try_issue(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
             s.fabric.clone(),
             s.node,
             s.cfg.cmd_issue_latency,
+            cid,
+            s.cfg.retry.cmd_timeout,
         )
     };
 
@@ -1209,6 +1305,9 @@ fn try_issue(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
     let _ = fabric
         .borrow_mut()
         .write_u32(en, node, doorbell, tail as u32);
+    if let Some(after) = timeout {
+        arm_cmd_timeout(rc, en, cid, 0, after);
+    }
 
     // Issue pipeline: next command after the issue latency.
     let rc2 = rc.clone();
@@ -1254,18 +1353,21 @@ fn process_cq(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
             let track = rc.borrow().track.clone();
             trace::instant(en, &track, "cqe", &[("cid", u64::from(cqe.cid))]);
         }
-        let mut s = rc.borrow_mut();
-        s.metrics.cqes_consumed.inc();
-        let ok = cqe.status == snacc_nvme::spec::Status::Success;
-        if !ok {
-            s.metrics.errors.inc();
+        let retry = {
+            let mut s = rc.borrow_mut();
+            s.metrics.cqes_consumed.inc();
+            let head = cqe.sq_head % s.sq.entries();
+            s.sq.update_head(head);
+            handle_completion(&mut s, en, cqe.cid, cqe.status)
+        };
+        if let Some((new_cid, delay)) = retry {
+            let rc2 = rc.clone();
+            en.schedule_in(delay, move |en| reissue_cmd(&rc2, en, new_cid));
         }
-        s.rob.complete(cqe.cid, ok);
-        let head = cqe.sq_head % s.sq.entries();
-        s.sq.update_head(head);
     }
     rc.borrow_mut().cq_busy = false;
     if reaped > 0 {
+        drain_retry_q(rc, en);
         // Update the SSD's CQ head doorbell (accounting traffic).
         let (fabric, node, db, head) = {
             let s = rc.borrow();
@@ -1287,6 +1389,185 @@ fn process_cq(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
         try_issue(rc, en);
         pump_write_in(rc, en);
     }
+}
+
+/// ⑤ — resolve one completion against the ROB and the retry policy.
+///
+/// Success: mark complete (counting a recovery if the command had been
+/// retried). Transient error with attempts left: re-arm the command under
+/// a fresh cid via [`CommandRob::replay`] — it keeps its slot in the
+/// retirement order, so in-order delivery survives — and return
+/// `Some((new_cid, backoff))` for the caller to schedule the re-issue.
+/// Otherwise: give up and retire with the error (reads stream zeros,
+/// writes still answer the PE), counting the loss in `gave_up`.
+///
+/// Runs with the streamer borrow held; must not schedule (SL006).
+fn handle_completion(
+    s: &mut NvmeStreamer,
+    en: &mut Engine,
+    cid: u16,
+    status: spec::Status,
+) -> Option<(u16, SimDuration)> {
+    if status == spec::Status::Success {
+        if let Some(info) = s.rob.payload(cid) {
+            if info.attempts() > 0 {
+                s.metrics.recovered.inc();
+                s.metrics
+                    .retry_latency_us
+                    .record(en.now().since(info.issued_at()).as_us_f64());
+                if trace::enabled() {
+                    trace::instant(en, &s.track, "retry.recovered", &[("cid", u64::from(cid))]);
+                }
+            }
+        }
+        s.rob.complete(cid, true);
+        return None;
+    }
+    s.metrics.errors.inc();
+    let policy = s.cfg.retry;
+    let attempts = match s.rob.payload(cid) {
+        Some(i) => i.attempts(),
+        // Stale cid: a late CQE for a command already replayed or retired.
+        None => return None,
+    };
+    if status.is_transient() && attempts < policy.max_retries {
+        if let Some(rf) = &s.regfile {
+            rf.borrow_mut().clear(cid);
+        }
+        let new_cid = s.rob.replay(cid).expect("payload checked above");
+        let info = s.rob.payload_mut(new_cid).expect("just replayed");
+        info.bump_attempts();
+        let attempt = info.attempts();
+        s.metrics.retries.inc();
+        if trace::enabled() {
+            trace::instant(
+                en,
+                &s.track,
+                "retry.scheduled",
+                &[
+                    ("old_cid", u64::from(cid)),
+                    ("cid", u64::from(new_cid)),
+                    ("attempt", u64::from(attempt)),
+                ],
+            );
+        }
+        Some((new_cid, policy.backoff_for(attempt)))
+    } else {
+        s.metrics.gave_up.inc();
+        if trace::enabled() {
+            trace::instant(en, &s.track, "retry.gave_up", &[("cid", u64::from(cid))]);
+        }
+        s.rob.complete(cid, false);
+        None
+    }
+}
+
+/// Re-issue a replayed command once its backoff elapsed. The fresh cid
+/// was assigned by [`CommandRob::replay`] at failure time; only the SQE
+/// is rebuilt. Replays bypass the issue pipeline (`issuing`) — the model
+/// gives recovery a dedicated slot, like the replay port of a hardware
+/// ROB — but still need a free SQ slot; if the SQ is full the command
+/// parks in `retry_q` until completions free space.
+fn reissue_cmd(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine, cid: u16) {
+    let out = {
+        let mut s = rc.borrow_mut();
+        let Some(info) = s.rob.payload(cid) else {
+            return; // already given up on (e.g. a timeout raced the backoff)
+        };
+        let (op, nvme_addr, len, kind, region) = info.reissue_parts();
+        let attempts = info.attempts();
+        if s.sq.is_full() {
+            s.retry_q.push_back(cid);
+            return;
+        }
+        let sqe = Sqe::io(op, 0, nvme_addr / LBA, (len / LBA - 1) as u16);
+        let tail = s.push_sqe(en, sqe, cid, kind, region, len);
+        s.metrics.doorbells.inc();
+        if trace::enabled() {
+            trace::instant(
+                en,
+                &s.track,
+                "retry.reissue",
+                &[("cid", u64::from(cid)), ("attempt", u64::from(attempts))],
+            );
+        }
+        (
+            tail,
+            s.ssd_sq_doorbell,
+            s.fabric.clone(),
+            s.node,
+            s.cfg.retry.cmd_timeout,
+            attempts,
+        )
+    };
+    let (tail, doorbell, fabric, node, timeout, attempts) = out;
+    let _ = fabric
+        .borrow_mut()
+        .write_u32(en, node, doorbell, tail as u32);
+    if let Some(after) = timeout {
+        arm_cmd_timeout(rc, en, cid, attempts, after);
+    }
+}
+
+/// Drain parked replays once completions freed SQ slots.
+fn drain_retry_q(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
+    loop {
+        let cid = {
+            let mut s = rc.borrow_mut();
+            if s.sq.is_full() {
+                return;
+            }
+            match s.retry_q.pop_front() {
+                Some(c) => c,
+                None => return,
+            }
+        };
+        reissue_cmd(rc, en, cid);
+    }
+}
+
+/// Arm a completion timeout for `(cid, attempts)`. A timer is stale — and
+/// does nothing — if the command completed, retired, or was replayed
+/// under a new cid in the meantime (the attempt count disambiguates cid
+/// reuse). A live expiry is treated exactly like a transient-error CQE:
+/// retry if the policy allows, give up otherwise.
+fn arm_cmd_timeout(
+    rc: &Rc<RefCell<NvmeStreamer>>,
+    en: &mut Engine,
+    cid: u16,
+    attempts: u32,
+    after: SimDuration,
+) {
+    let rc2 = rc.clone();
+    en.schedule_in(after, move |en| {
+        let retry = {
+            let mut s = rc2.borrow_mut();
+            let live = s.rob.payload(cid).is_some_and(|i| i.attempts() == attempts)
+                && s.rob.is_complete(cid) == Some(false);
+            if !live {
+                return;
+            }
+            s.metrics.timeouts.inc();
+            if trace::enabled() {
+                trace::instant(en, &s.track, "cmd.timeout", &[("cid", u64::from(cid))]);
+            }
+            // A lost command is indistinguishable from a transient
+            // transport failure — run the same retry decision.
+            handle_completion(&mut s, en, cid, spec::Status::DataTransferError)
+        };
+        match retry {
+            Some((new_cid, delay)) => {
+                let rc3 = rc2.clone();
+                en.schedule_in(delay, move |en| reissue_cmd(&rc3, en, new_cid));
+            }
+            None => {
+                // Gave up: the head may now be retirable.
+                try_retire(&rc2, en);
+                try_issue(&rc2, en);
+                pump_write_in(&rc2, en);
+            }
+        }
+    });
 }
 
 /// ⑥ — in-order retirement: writes free buffer + emit responses; reads
@@ -1327,6 +1608,7 @@ fn try_retire(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
                         xfer_id,
                         span,
                         issued_at,
+                        ..
                     } = info
                     else {
                         unreachable!()

@@ -1,0 +1,232 @@
+//! Streamer retry/recovery under deterministic NVMe fault injection:
+//! in-order delivery survives replays, the retry budget is honoured, and
+//! the accounting never loses a fault
+//! (`injected == retries + gave_up` for command-error campaigns).
+
+use snacc_core::config::{RetryPolicy, StreamerConfig, StreamerVariant};
+use snacc_core::hostinit::SnaccHostDriver;
+use snacc_core::plugin::NvmeSubsystem;
+use snacc_core::streamer::{encode_read_cmd, StreamerHandle};
+use snacc_fpga::axis;
+use snacc_fpga::tapasco::TapascoShell;
+use snacc_mem::{AddrRange, HostMemory};
+use snacc_nvme::{IoFaultConfig, NvmeDeviceHandle, NvmeProfile};
+use snacc_pcie::target::HostMemTarget;
+use snacc_pcie::{Iommu, PcieFabric, HOST_NODE};
+use snacc_sim::{Engine, SimDuration};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const SHELL_BAR: u64 = 0x4_0000_0000;
+const NVME_BAR: u64 = 0x8_0000_0000;
+
+fn build(
+    variant: StreamerVariant,
+    retry: RetryPolicy,
+) -> (Engine, StreamerHandle, NvmeDeviceHandle) {
+    let mut en = Engine::new();
+    let mut fabric = PcieFabric::new();
+    fabric.set_iommu(Iommu::new());
+    let hostmem = Rc::new(RefCell::new(HostMemory::default()));
+    let t = Rc::new(RefCell::new(HostMemTarget::new(hostmem.clone(), 0)));
+    fabric.map_region(HOST_NODE, AddrRange::new(0, 8 << 30), t);
+    let fabric = Rc::new(RefCell::new(fabric));
+    let mut shell = TapascoShell::new(fabric.clone(), SHELL_BAR);
+    let mut cfg = StreamerConfig::snacc(variant);
+    cfg.retry = retry;
+    let mut plugin = NvmeSubsystem::new(cfg);
+    shell.apply_plugin(&mut en, &mut plugin);
+    let streamer = plugin.streamer();
+    let nvme = NvmeDeviceHandle::attach(fabric.clone(), NVME_BAR, NvmeProfile::samsung_990pro(), 3);
+    fabric
+        .borrow_mut()
+        .iommu_mut()
+        .grant(nvme.node(), AddrRange::new(0x1_0000_0000, 1 << 20));
+    let mut driver = SnaccHostDriver::new(fabric.clone(), hostmem, nvme.clone());
+    driver.bring_up(&mut en, &streamer, 1).expect("bring-up");
+    (en, streamer, nvme)
+}
+
+fn policy(max_retries: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_retries,
+        backoff: SimDuration::from_us(10),
+        cmd_timeout: None,
+    }
+}
+
+/// Drive `count` sequential reads of `len` bytes and return the delivered
+/// bytes per read (delivery order == issue order by construction of the
+/// single data stream).
+fn read_all(en: &mut Engine, streamer: &StreamerHandle, count: u64, len: u64) -> Vec<Vec<u8>> {
+    let ports = streamer.ports();
+    let mut out = Vec::new();
+    for i in 0..count {
+        let cmd = encode_read_cmd(i * len, len);
+        while !axis::push(&ports.rd_cmd, en, cmd.clone()) {
+            assert!(en.step(), "stalled pushing read cmd");
+        }
+    }
+    for _ in 0..count {
+        let mut data = Vec::new();
+        loop {
+            match axis::pop(&ports.rd_data, en) {
+                Some(beat) => {
+                    let last = beat.last;
+                    data.extend_from_slice(&beat.data);
+                    if last {
+                        break;
+                    }
+                }
+                None => assert!(en.step(), "read stream stalled"),
+            }
+        }
+        out.push(data);
+    }
+    en.run();
+    out
+}
+
+/// Baseline deltas: the metric counters are process-wide and accumulate
+/// across systems within a test thread.
+struct MetricBase {
+    errors: u64,
+    retries: u64,
+    recovered: u64,
+    gave_up: u64,
+    timeouts: u64,
+}
+
+fn snap(streamer: &StreamerHandle) -> MetricBase {
+    let m = streamer.metrics();
+    MetricBase {
+        errors: m.errors.get(),
+        retries: m.retries.get(),
+        recovered: m.recovered.get(),
+        gave_up: m.gave_up.get(),
+        timeouts: m.timeouts.get(),
+    }
+}
+
+#[test]
+fn transient_errors_recover_with_exact_data() {
+    let (mut en, streamer, nvme) = build(StreamerVariant::Uram, policy(3));
+    let (count, len) = (24u64, 128u64 * 1024);
+    nvme.with(|d| d.nand_mut().prewarm(0, count * len, 0xC3));
+    nvme.install_faults(IoFaultConfig::error_only(0.2, 77));
+    let base = snap(&streamer);
+    let reads = read_all(&mut en, &streamer, count, len);
+    let m = streamer.metrics();
+    let injected = nvme.fault_stats().errors;
+    assert!(injected > 0, "campaign must inject at this rate");
+    assert!(
+        m.recovered.get() - base.recovered > 0,
+        "retries must recover"
+    );
+    assert_eq!(
+        m.gave_up.get() - base.gave_up,
+        0,
+        "budget covers 20% errors"
+    );
+    // Recovery is invisible to the consumer: every read delivers its
+    // exact media bytes, in issue order.
+    for (i, data) in reads.iter().enumerate() {
+        assert_eq!(data.len() as u64, len, "read {i} length");
+        assert!(
+            data.iter().all(|&b| b == 0xC3),
+            "read {i} must carry media bytes, not zeros"
+        );
+    }
+}
+
+#[test]
+fn fault_accounting_is_conserved() {
+    for variant in StreamerVariant::all() {
+        let (mut en, streamer, nvme) = build(variant, policy(2));
+        let (count, len) = (16u64, 64u64 * 1024);
+        nvme.with(|d| d.nand_mut().prewarm(0, count * len, 0x11));
+        nvme.install_faults(IoFaultConfig::error_only(0.25, 5));
+        let base = snap(&streamer);
+        let _ = read_all(&mut en, &streamer, count, len);
+        let m = streamer.metrics();
+        let injected = nvme.fault_stats().errors;
+        let errors = m.errors.get() - base.errors;
+        let retries = m.retries.get() - base.retries;
+        let gave_up = m.gave_up.get() - base.gave_up;
+        assert!(injected > 0, "{variant:?}: campaign must inject");
+        assert_eq!(errors, injected, "{variant:?}: every fault surfaces");
+        assert_eq!(
+            injected,
+            retries + gave_up,
+            "{variant:?}: every fault is retried or given up"
+        );
+    }
+}
+
+#[test]
+fn exhausted_budget_gives_up_without_wedging() {
+    // Rate 1.0: every attempt fails, so each command burns its full
+    // budget (2 retries) and then gives up; reads still deliver a full
+    // (zeroed) stream so the PE protocol never stalls.
+    let (mut en, streamer, nvme) = build(StreamerVariant::Uram, policy(2));
+    let (count, len) = (4u64, 64u64 * 1024);
+    nvme.install_faults(IoFaultConfig::error_only(1.0, 1));
+    let base = snap(&streamer);
+    let reads = read_all(&mut en, &streamer, count, len);
+    let m = streamer.metrics();
+    let gave_up = m.gave_up.get() - base.gave_up;
+    let retries = m.retries.get() - base.retries;
+    assert!(gave_up > 0, "nothing can survive rate 1.0");
+    assert_eq!(retries, 2 * gave_up, "full budget spent before giving up");
+    assert_eq!(m.recovered.get() - base.recovered, 0);
+    for data in &reads {
+        assert_eq!(data.len() as u64, len, "stream stays live");
+        assert!(data.iter().all(|&b| b == 0), "given-up reads stream zeros");
+    }
+}
+
+#[test]
+fn retries_disabled_fail_fast() {
+    // The default policy pre-dates the fault subsystem: transient errors
+    // are terminal, counted as gave_up, and cost no retry traffic.
+    let (mut en, streamer, nvme) = build(StreamerVariant::Uram, RetryPolicy::disabled());
+    nvme.install_faults(IoFaultConfig::error_only(0.5, 3));
+    let base = snap(&streamer);
+    let _ = read_all(&mut en, &streamer, 8, 64 * 1024);
+    let m = streamer.metrics();
+    let injected = nvme.fault_stats().errors;
+    assert!(injected > 0);
+    assert_eq!(m.retries.get() - base.retries, 0);
+    assert_eq!(m.gave_up.get() - base.gave_up, injected);
+}
+
+#[test]
+fn latency_spikes_trigger_timeout_replay() {
+    // A spike stalls the command past the timeout; the streamer declares
+    // it lost and replays it. The spiked original eventually completes
+    // under its stale cid and must be ignored (no double retirement).
+    let mut cfg = policy(3);
+    cfg.cmd_timeout = Some(SimDuration::from_us(900));
+    let (mut en, streamer, nvme) = build(StreamerVariant::Uram, cfg);
+    let (count, len) = (8u64, 64u64 * 1024);
+    nvme.with(|d| d.nand_mut().prewarm(0, count * len, 0x3C));
+    nvme.install_faults(IoFaultConfig {
+        error_rate: 0.0,
+        error_status: snacc_nvme::spec::Status::DataTransferError,
+        latency_spike_rate: 0.3,
+        latency_spike: SimDuration::from_us(5_000),
+        window: None,
+        seed: 21,
+    });
+    let base = snap(&streamer);
+    let reads = read_all(&mut en, &streamer, count, len);
+    let m = streamer.metrics();
+    assert!(nvme.fault_stats().spikes > 0, "campaign must spike");
+    assert!(m.timeouts.get() - base.timeouts > 0, "spikes must time out");
+    assert!(m.recovered.get() - base.recovered > 0, "replays recover");
+    assert_eq!(m.gave_up.get() - base.gave_up, 0);
+    for (i, data) in reads.iter().enumerate() {
+        assert_eq!(data.len() as u64, len);
+        assert!(data.iter().all(|&b| b == 0x3C), "read {i} intact");
+    }
+}

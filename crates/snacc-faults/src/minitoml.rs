@@ -1,0 +1,216 @@
+//! A tiny TOML-subset reader for fault plans.
+//!
+//! The workspace vendors no TOML crate, and fault plans need only a flat
+//! `[section]` / scalar `key = value` structure, so this module parses
+//! exactly that subset: comments (`#`), section headers, and integer /
+//! float / boolean / double-quoted-string values. Arrays, tables-in-line,
+//! dotted keys, dates and multi-line strings are rejected with a line
+//! number — a plan using them is a plan this crate does not understand.
+
+/// A scalar value from a plan file.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TomlValue {
+    /// An integer literal (underscore separators allowed).
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A double-quoted string (no escape processing).
+    Str(String),
+}
+
+impl TomlValue {
+    /// The value as an `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            TomlValue::Int(v) => Some(*v as f64),
+            TomlValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            TomlValue::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            TomlValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TomlValue::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed document: sections in file order, keys in file order. Keys
+/// before the first section header live in the root section `""`.
+#[derive(Clone, Debug, Default)]
+pub struct TomlDoc {
+    sections: Vec<(String, Vec<(String, TomlValue)>)>,
+}
+
+impl TomlDoc {
+    /// Look up `key` in `section` (`""` for the root).
+    pub fn get(&self, section: &str, key: &str) -> Option<&TomlValue> {
+        self.sections
+            .iter()
+            .find(|(name, _)| name == section)
+            .and_then(|(_, kv)| kv.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+
+    /// Does the document contain `section`?
+    pub fn has_section(&self, section: &str) -> bool {
+        self.sections.iter().any(|(name, _)| name == section)
+    }
+
+    /// All `(section, key)` pairs, for strict unknown-key validation.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.sections
+            .iter()
+            .flat_map(|(name, kv)| kv.iter().map(move |(k, _)| (name.as_str(), k.as_str())))
+    }
+}
+
+/// Parse a plan document. Errors carry a 1-based line number.
+pub fn parse(text: &str) -> Result<TomlDoc, String> {
+    let mut doc = TomlDoc::default();
+    let mut current = String::new();
+    doc.sections.push((current.clone(), Vec::new()));
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {lineno}: unterminated section header"))?
+                .trim();
+            if name.is_empty() || name.contains(['[', '.', '"']) {
+                return Err(format!("line {lineno}: unsupported section name {name:?}"));
+            }
+            current = name.to_string();
+            if !doc.has_section(&current) {
+                doc.sections.push((current.clone(), Vec::new()));
+            }
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+        let key = key.trim();
+        if key.is_empty() || key.contains(['.', '"', ' ']) {
+            return Err(format!("line {lineno}: unsupported key {key:?}"));
+        }
+        let value = parse_scalar(value.trim())
+            .ok_or_else(|| format!("line {lineno}: unsupported value {:?}", value.trim()))?;
+        let section = doc
+            .sections
+            .iter_mut()
+            .find(|(name, _)| *name == current)
+            .expect("current section exists");
+        if section.1.iter().any(|(k, _)| k == key) {
+            return Err(format!("line {lineno}: duplicate key {key:?}"));
+        }
+        section.1.push((key.to_string(), value));
+    }
+    Ok(doc)
+}
+
+/// Cut a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_scalar(s: &str) -> Option<TomlValue> {
+    if let Some(rest) = s.strip_prefix('"') {
+        let inner = rest.strip_suffix('"')?;
+        if inner.contains('"') {
+            return None;
+        }
+        return Some(TomlValue::Str(inner.to_string()));
+    }
+    match s {
+        "true" => return Some(TomlValue::Bool(true)),
+        "false" => return Some(TomlValue::Bool(false)),
+        _ => {}
+    }
+    let num = s.replace('_', "");
+    if let Ok(v) = num.parse::<i64>() {
+        return Some(TomlValue::Int(v));
+    }
+    if let Ok(v) = num.parse::<f64>() {
+        if v.is_finite() {
+            return Some(TomlValue::Float(v));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_keys_and_scalars() {
+        let doc = parse(
+            r#"
+seed = 42  # root key
+[nvme]
+error_rate = 0.05
+big = 1_000_000
+on = true
+label = "flaky ssd"
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("", "seed").unwrap().as_u64(), Some(42));
+        assert_eq!(doc.get("nvme", "error_rate").unwrap().as_f64(), Some(0.05));
+        assert_eq!(doc.get("nvme", "big").unwrap().as_u64(), Some(1_000_000));
+        assert_eq!(doc.get("nvme", "on").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            doc.get("nvme", "label").unwrap().as_str(),
+            Some("flaky ssd")
+        );
+        assert!(doc.has_section("nvme"));
+        assert!(!doc.has_section("net"));
+        assert_eq!(doc.entries().count(), 5);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = parse("name = \"a # b\"").unwrap();
+        assert_eq!(doc.get("", "name").unwrap().as_str(), Some("a # b"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert!(parse("[oops").unwrap_err().contains("line 1"));
+        assert!(parse("\nkey value").unwrap_err().contains("line 2"));
+        assert!(parse("k = [1, 2]").unwrap_err().contains("line 1"));
+        assert!(parse("k = 1\nk = 2").unwrap_err().contains("duplicate"));
+    }
+}

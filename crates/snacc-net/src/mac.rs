@@ -35,6 +35,14 @@ pub struct MacConfig {
     /// Probability that a delivered frame is dropped as a CRC error
     /// (failure injection; 0.0 in normal operation).
     pub crc_error_rate: f64,
+    /// Probability that a delivered data frame vanishes on the wire
+    /// (lossy-link fault injection; 0.0 in normal operation).
+    pub drop_rate: f64,
+    /// Probability that a delivered data frame arrives corrupted and is
+    /// discarded by the FCS check (fault injection; counted separately
+    /// from [`MacConfig::crc_error_rate`] noise so campaigns can tell
+    /// injected corruption from background errors).
+    pub corrupt_rate: f64,
 }
 
 impl MacConfig {
@@ -51,6 +59,8 @@ impl MacConfig {
             flow_control: true,
             pause_quanta: 0xffff,
             crc_error_rate: 0.0,
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
         }
     }
 
@@ -78,6 +88,10 @@ pub struct MacStats {
     pub rx_drops: u64,
     /// Frames dropped as CRC errors (injected).
     pub crc_drops: u64,
+    /// Data frames dropped by the lossy-link fault injector.
+    pub injected_drops: u64,
+    /// Data frames discarded as injector-corrupted (FCS fail).
+    pub corrupt_drops: u64,
     /// PAUSE frames sent (including resumes).
     pub pauses_sent: u64,
     /// PAUSE frames received.
@@ -194,6 +208,14 @@ impl EthMac {
         now < self.paused_until
     }
 
+    /// Set the lossy-link fault-injection rates (see
+    /// [`MacConfig::drop_rate`] / [`MacConfig::corrupt_rate`]). Campaigns
+    /// call this on an already-connected MAC.
+    pub fn set_fault_rates(&mut self, drop_rate: f64, corrupt_rate: f64) {
+        self.cfg.drop_rate = drop_rate;
+        self.cfg.corrupt_rate = corrupt_rate;
+    }
+
     /// Install the "frames available at RX" hook.
     pub fn set_rx_hook(&mut self, hook: impl FnMut(&mut Engine) + 'static) {
         self.rx_hook = Some(Rc::new(RefCell::new(hook)));
@@ -283,6 +305,27 @@ fn send_pause(rc: &Rc<RefCell<EthMac>>, en: &mut Engine, quanta: u16) {
         });
     }
     pump_tx(rc, en);
+}
+
+/// Schedule a PAUSE storm from this MAC: `count` PAUSE frames of
+/// `quanta` quanta each, the first at `start`, spaced `interval` apart.
+/// Models a misbehaving or badly congested peer that keeps the link
+/// throttled far beyond what its buffers justify (fault injection).
+pub fn schedule_pause_storm(
+    rc: &Rc<RefCell<EthMac>>,
+    en: &mut Engine,
+    start: SimTime,
+    count: u32,
+    interval: SimDuration,
+    quanta: u16,
+) {
+    for i in 0..count {
+        let rc2 = rc.clone();
+        en.schedule_at(start + interval * i as u64, move |en| {
+            trace::metric_counter("faults.net.pause_storms").inc();
+            send_pause(&rc2, en, quanta);
+        });
+    }
 }
 
 enum TxAction {
@@ -375,6 +418,40 @@ fn deliver(rc: &Rc<RefCell<EthMac>>, en: &mut Engine, frame: EthFrame) {
     let mut return_action_repump = false;
     let action = {
         let mut m = rc.borrow_mut();
+        // Fault injection: lossy-link drops and FCS-detected corruption
+        // apply to data frames only, so a campaign cannot silently kill
+        // flow control. Draws are skipped entirely at rate 0.0, keeping
+        // the per-MAC RNG stream — and thus fault-free traces —
+        // byte-identical to pre-injection builds.
+        if frame.pause_quanta().is_none() {
+            let (drop_rate, corrupt_rate) = (m.cfg.drop_rate, m.cfg.corrupt_rate);
+            if drop_rate > 0.0 && m.rng.gen_bool(drop_rate) {
+                m.stats.injected_drops += 1;
+                trace::metric_counter("faults.net.frame_drops").inc();
+                if trace::enabled() {
+                    trace::instant(
+                        en,
+                        &format!("net.{}", m.name),
+                        "eth.fault_drop",
+                        &[("bytes", frame.frame_bytes())],
+                    );
+                }
+                return;
+            }
+            if corrupt_rate > 0.0 && m.rng.gen_bool(corrupt_rate) {
+                m.stats.corrupt_drops += 1;
+                trace::metric_counter("faults.net.frame_corruptions").inc();
+                if trace::enabled() {
+                    trace::instant(
+                        en,
+                        &format!("net.{}", m.name),
+                        "eth.fault_corrupt",
+                        &[("bytes", frame.frame_bytes())],
+                    );
+                }
+                return;
+            }
+        }
         // Injected CRC errors drop the frame on arrival.
         let crc_rate = m.cfg.crc_error_rate;
         if crc_rate > 0.0 && m.rng.gen_bool(crc_rate) {
@@ -618,6 +695,70 @@ mod tests {
         en.run();
         assert_eq!(b.borrow().stats().crc_drops, 1);
         assert_eq!(b.borrow().stats().rx_frames, 0);
+    }
+
+    #[test]
+    fn injected_drops_and_corruption_counted_separately() {
+        let mut en = Engine::new();
+        let mut cfg = MacConfig::eth_100g();
+        cfg.drop_rate = 1.0;
+        let (a, b) = pair(MacConfig::eth_100g(), cfg);
+        let f = EthFrame::data(MacAddr::from_index(2), MacAddr::from_index(1), vec![0; 100]);
+        send(&a, &mut en, f.clone());
+        en.run();
+        assert_eq!(b.borrow().stats().injected_drops, 1);
+        assert_eq!(b.borrow().stats().rx_frames, 0);
+        // Corruption hits its own counter.
+        b.borrow_mut().cfg.drop_rate = 0.0;
+        b.borrow_mut().cfg.corrupt_rate = 1.0;
+        send(&a, &mut en, f);
+        en.run();
+        let sb = b.borrow().stats();
+        assert_eq!(
+            (sb.injected_drops, sb.corrupt_drops, sb.rx_frames),
+            (1, 1, 0)
+        );
+    }
+
+    #[test]
+    fn lossy_link_spares_pause_frames() {
+        let mut en = Engine::new();
+        let mut cfg = MacConfig::eth_100g();
+        cfg.drop_rate = 1.0;
+        cfg.corrupt_rate = 1.0;
+        let (a, b) = pair(cfg, MacConfig::eth_100g());
+        // A PAUSE from b must survive a's fully lossy injector.
+        send_pause(&b, &mut en, 0xffff);
+        en.run();
+        assert!(a.borrow().is_paused(en.now()));
+        assert_eq!(a.borrow().stats().injected_drops, 0);
+    }
+
+    #[test]
+    fn pause_storm_throttles_sender() {
+        let mut en = Engine::new();
+        let (a, b) = pair(MacConfig::eth_100g(), MacConfig::eth_100g());
+        // Ten max-quanta PAUSEs every 100 µs keep a throttled ~1 ms even
+        // though b's buffers are empty the whole time.
+        schedule_pause_storm(
+            &b,
+            &mut en,
+            SimTime::ZERO,
+            10,
+            SimDuration::from_us(100),
+            0xffff,
+        );
+        // Queue the data frame mid-storm (50 µs in) so it waits out the
+        // full stacked pause window.
+        let a2 = a.clone();
+        en.schedule_at(SimTime::ZERO + SimDuration::from_us(50), move |en| {
+            let f = EthFrame::data(MacAddr::from_index(2), MacAddr::from_index(1), vec![0; 512]);
+            send(&a2, en, f);
+        });
+        let end = en.run();
+        assert!(end.as_us_f64() > 1000.0, "{}", end.as_us_f64());
+        assert_eq!(b.borrow().stats().rx_frames, 1);
+        assert_eq!(a.borrow().stats().pauses_received, 10);
     }
 
     #[test]

@@ -15,13 +15,13 @@
 
 use crate::nand::NandBackend;
 use crate::profile::NvmeProfile;
-use crate::prp::{walk_prps, PrpSeg};
+use crate::prp::{walk_prps, PrpError, PrpSeg};
 use crate::queue::CqWriter;
 use crate::spec::{self, Cqe, IoOpcode, Sqe, Status, LBA_BYTES, NVME_PAGE, SQE_BYTES};
 use snacc_mem::AddrRange;
 use snacc_pcie::{MmioTarget, NodeId, PcieFabric, HOST_NODE};
 use snacc_sim::stats::Counter;
-use snacc_sim::{Engine, Payload, SimDuration, SimTime};
+use snacc_sim::{Engine, Payload, SimDuration, SimRng, SimTime};
 use snacc_trace as trace;
 use std::cell::{OnceCell, RefCell};
 use std::collections::{BTreeMap, VecDeque};
@@ -45,6 +45,71 @@ pub struct NvmeStats {
     pub write_bytes: u64,
     /// Commands completed with error status.
     pub errors: u64,
+}
+
+/// Deterministic I/O fault injection knobs (installed by a fault plan —
+/// see the `snacc-faults` crate). All randomness comes from the seeded
+/// [`SimRng`], drawn in event order, so same-seed runs inject identical
+/// faults at identical simulated times.
+#[derive(Clone, Debug)]
+pub struct IoFaultConfig {
+    /// Probability an I/O command completes immediately with
+    /// [`IoFaultConfig::error_status`] instead of executing.
+    pub error_rate: f64,
+    /// Status injected command errors complete with (default:
+    /// `DataTransferError`, the transient status retry policies act on).
+    pub error_status: Status,
+    /// Probability an I/O command is delayed by
+    /// [`IoFaultConfig::latency_spike`] before executing.
+    pub latency_spike_rate: f64,
+    /// Extra latency added by a spike.
+    pub latency_spike: SimDuration,
+    /// Only inject inside this simulated-time window (`None` = always).
+    pub window: Option<(SimTime, SimTime)>,
+    /// Seed for the injector's private RNG stream.
+    pub seed: u64,
+}
+
+impl IoFaultConfig {
+    /// A flaky-SSD preset: `rate` command errors, no latency spikes.
+    pub fn error_only(rate: f64, seed: u64) -> Self {
+        IoFaultConfig {
+            error_rate: rate,
+            error_status: Status::DataTransferError,
+            latency_spike_rate: 0.0,
+            latency_spike: SimDuration::from_us(0),
+            window: None,
+            seed,
+        }
+    }
+}
+
+/// Injected-fault tallies for one device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoFaultStats {
+    /// Commands forced to complete with the configured error status.
+    pub errors: u64,
+    /// Commands delayed by a latency spike.
+    pub spikes: u64,
+}
+
+struct IoFaultState {
+    cfg: IoFaultConfig,
+    rng: SimRng,
+    stats: IoFaultStats,
+    /// Registry counters (`faults.nvme.*`), so `--metrics-json` snapshots
+    /// carry the injected-fault tallies.
+    reg_errors: trace::CounterHandle,
+    reg_spikes: trace::CounterHandle,
+}
+
+impl IoFaultState {
+    fn in_window(&self, now: SimTime) -> bool {
+        match self.cfg.window {
+            Some((a, b)) => now >= a && now < b,
+            None => true,
+        }
+    }
 }
 
 struct QueuePair {
@@ -119,6 +184,8 @@ pub struct NvmeDevice {
     fetch_p2p: VecDeque<SimTime>,
     stats: NvmeStats,
     doorbell_writes: Counter,
+    /// Optional fault injector (None = pristine device).
+    faults: Option<IoFaultState>,
     /// Cached Identify pages (built once; the contents depend only on the
     /// profile and NAND capacity, both fixed after construction).
     ident_ctrl: OnceCell<Payload>,
@@ -352,6 +419,7 @@ impl NvmeDeviceHandle {
             fetch_p2p: VecDeque::new(),
             stats: NvmeStats::default(),
             doorbell_writes: Counter::new(),
+            faults: None,
             ident_ctrl: OnceCell::new(),
             ident_ns: OnceCell::new(),
         }));
@@ -394,6 +462,35 @@ impl NvmeDeviceHandle {
     /// Statistics snapshot.
     pub fn stats(&self) -> NvmeStats {
         self.inner.borrow().stats
+    }
+
+    /// Install (or replace) the I/O fault injector. The injector forks a
+    /// private RNG stream from `cfg.seed`; nothing else in the model
+    /// consumes it, so enabling faults perturbs only faulted commands.
+    pub fn install_faults(&self, cfg: IoFaultConfig) {
+        let rng = SimRng::new(cfg.seed);
+        self.inner.borrow_mut().faults = Some(IoFaultState {
+            cfg,
+            rng,
+            stats: IoFaultStats::default(),
+            reg_errors: trace::metric_counter("faults.nvme.cmd_errors"),
+            reg_spikes: trace::metric_counter("faults.nvme.latency_spikes"),
+        });
+    }
+
+    /// Remove the fault injector (subsequent commands run pristine).
+    pub fn clear_faults(&self) {
+        self.inner.borrow_mut().faults = None;
+    }
+
+    /// Tallies of injected faults (zeros when no injector is installed).
+    pub fn fault_stats(&self) -> IoFaultStats {
+        self.inner
+            .borrow()
+            .faults
+            .as_ref()
+            .map(|f| f.stats)
+            .unwrap_or_default()
     }
 
     /// Diagnostic snapshot of queue state (for debugging stalls).
@@ -674,26 +771,96 @@ fn resolve_prps(
         (d.fabric.clone(), d.node)
     };
     let mut t_prp = en.now();
-    let mut fetch_failed = false;
     let walk = walk_prps(sqe.prp1, sqe.prp2, byte_len, |list_addr| {
         let mut page = [0u8; NVME_PAGE as usize];
-        let r = fabric.borrow_mut().read(en, node, list_addr, &mut page);
-        match r {
+        match fabric.borrow_mut().read(en, node, list_addr, &mut page) {
             Ok(t) => t_prp = t_prp.max(t),
-            Err(_) => fetch_failed = true,
+            // Abort the walk at the failed fetch — parsing the stale
+            // page would issue further bogus reads.
+            Err(_) => return Err(PrpError::FetchFailed(list_addr)),
         }
-        page
+        Ok(page)
     });
-    if fetch_failed {
-        return Err(Status::DataTransferError);
-    }
     match walk {
         Ok(segs) => Ok((segs, t_prp)),
+        // Transport failure is transient (retryable); a malformed PRP
+        // chain is a host bug and stays fatal.
+        Err(PrpError::FetchFailed(_)) => Err(Status::DataTransferError),
         Err(_) => Err(Status::InvalidField),
     }
 }
 
+/// I/O dispatch with the fault injector in front: a seeded draw decides
+/// whether this command errors out immediately, is delayed by a latency
+/// spike, or proceeds untouched into [`exec_io_inner`].
 fn exec_io(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16, sqe: Sqe) {
+    enum Draw {
+        Clean,
+        Error(Status),
+        Spike(SimDuration),
+    }
+    let draw = {
+        let mut d = rc.borrow_mut();
+        let now = en.now();
+        // Flushes and malformed opcodes are never faulted — only real I/O.
+        let is_io = IoOpcode::from_u8(sqe.opcode).is_some_and(|o| o != IoOpcode::Flush);
+        match &mut d.faults {
+            Some(f) if is_io && f.in_window(now) => {
+                if f.cfg.error_rate > 0.0 && f.rng.gen_bool(f.cfg.error_rate) {
+                    f.stats.errors += 1;
+                    f.reg_errors.inc();
+                    Draw::Error(f.cfg.error_status)
+                } else if f.cfg.latency_spike_rate > 0.0 && f.rng.gen_bool(f.cfg.latency_spike_rate)
+                {
+                    f.stats.spikes += 1;
+                    f.reg_spikes.inc();
+                    Draw::Spike(f.cfg.latency_spike)
+                } else {
+                    Draw::Clean
+                }
+            }
+            _ => Draw::Clean,
+        }
+    };
+    match draw {
+        Draw::Clean => exec_io_inner(rc, en, qid, sqe),
+        Draw::Error(status) => {
+            if trace::enabled() {
+                let node = rc.borrow().node;
+                trace::instant(
+                    en,
+                    &format!("nvme.n{}", node.0),
+                    "fault.cmd_error",
+                    &[("qid", qid as u64), ("cid", sqe.cid as u64)],
+                );
+            }
+            let out = CqeOut {
+                cid: sqe.cid,
+                status,
+                result: 0,
+                span: trace::SpanId::NONE,
+            };
+            // A rejected command still takes a controller turnaround.
+            let t = en.now() + SimDuration::from_us(1);
+            complete(rc, en, t, qid, out);
+        }
+        Draw::Spike(extra) => {
+            if trace::enabled() {
+                let node = rc.borrow().node;
+                trace::instant(
+                    en,
+                    &format!("nvme.n{}", node.0),
+                    "fault.latency_spike",
+                    &[("qid", qid as u64), ("cid", sqe.cid as u64)],
+                );
+            }
+            let rc2 = rc.clone();
+            en.schedule_in(extra, move |en| exec_io_inner(&rc2, en, qid, sqe));
+        }
+    }
+}
+
+fn exec_io_inner(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16, sqe: Sqe) {
     let now = en.now();
     let Some(op) = IoOpcode::from_u8(sqe.opcode) else {
         let out = CqeOut {

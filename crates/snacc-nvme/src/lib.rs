@@ -23,6 +23,8 @@
 //! * [`profile`] — calibrated device parameter sets (990 PRO on Gen4 ×4,
 //!   plus the Gen5 projection used by the paper's Sec 7 discussion).
 
+#![deny(missing_docs)]
+
 pub mod device;
 pub mod nand;
 pub mod profile;
@@ -30,5 +32,5 @@ pub mod prp;
 pub mod queue;
 pub mod spec;
 
-pub use device::{NvmeDevice, NvmeDeviceHandle};
+pub use device::{IoFaultConfig, IoFaultStats, NvmeDevice, NvmeDeviceHandle};
 pub use profile::NvmeProfile;

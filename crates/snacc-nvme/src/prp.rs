@@ -27,7 +27,11 @@ pub struct PrpSeg {
     pub len: u64,
 }
 
-/// PRP resolution errors (reported as `Invalid Field` completions).
+/// PRP resolution errors. Format errors (`Misaligned`, `NullEntry`,
+/// `EmptyTransfer`, `ChainTooLong`) are host bugs and complete as
+/// `Invalid Field`; `FetchFailed` means the *transport* read of a list
+/// page failed and completes as `Data Transfer Error` so a retry policy
+/// can tell transient from fatal.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PrpError {
     /// A non-first PRP entry was not page-aligned.
@@ -40,6 +44,9 @@ pub enum PrpError {
     /// transfer length — a cyclic or runaway chain. Without this bound a
     /// self-referencing chain entry would walk forever.
     ChainTooLong,
+    /// The memory read fetching a PRP-list page failed (fabric error).
+    /// The walk aborts immediately rather than parsing a garbage page.
+    FetchFailed(u64),
 }
 
 /// Total little-endian u64 read; bytes beyond the page read as zero.
@@ -57,12 +64,14 @@ fn le_u64(page: &[u8], off: usize) -> u64 {
 /// Resolve the data-buffer layout of a command.
 ///
 /// `read_list_page(addr)` must return the 4096 bytes of the PRP list page
-/// at `addr` (the device model backs this with a fabric read).
+/// at `addr` (the device model backs this with a fabric read), or
+/// `Err(PrpError::FetchFailed(addr))` if the read itself failed — the
+/// walk then stops at once instead of interpreting stale bytes.
 pub fn walk_prps(
     prp1: u64,
     prp2: u64,
     byte_len: u64,
-    mut read_list_page: impl FnMut(u64) -> [u8; NVME_PAGE as usize],
+    mut read_list_page: impl FnMut(u64) -> Result<[u8; NVME_PAGE as usize], PrpError>,
 ) -> Result<Vec<PrpSeg>, PrpError> {
     if byte_len == 0 {
         return Err(PrpError::EmptyTransfer);
@@ -120,7 +129,7 @@ pub fn walk_prps(
         }
         let page_base = list_addr / NVME_PAGE * NVME_PAGE;
         let start_idx = ((list_addr % NVME_PAGE) / 8) as usize;
-        let page = read_list_page(page_base);
+        let page = read_list_page(page_base)?;
         for idx in start_idx..ENTRIES_PER_LIST {
             let entry = le_u64(&page, idx * 8);
             let pages_left = snacc_sim::ceil_div(remaining, NVME_PAGE);
@@ -240,11 +249,11 @@ mod tests {
     use proptest::prelude::*;
     use snacc_mem::SparseMemory;
 
-    fn mem_reader(mem: &mut SparseMemory) -> impl FnMut(u64) -> [u8; 4096] + '_ {
+    fn mem_reader(mem: &mut SparseMemory) -> impl FnMut(u64) -> Result<[u8; 4096], PrpError> + '_ {
         |addr| {
             let mut p = [0u8; 4096];
             mem.read(addr, &mut p);
-            p
+            Ok(p)
         }
     }
 
@@ -354,6 +363,19 @@ mod tests {
         mem.write(self_ref, &self_ref.to_le_bytes());
         let r = walk_prps(0x1000, self_ref, 4 * 4096, mem_reader(&mut mem));
         assert_eq!(r, Err(PrpError::ChainTooLong));
+    }
+
+    #[test]
+    fn fetch_failure_aborts_walk() {
+        // A failed list-page read surfaces as FetchFailed and stops the
+        // walk at the first bad fetch — no further reads are attempted.
+        let mut calls = 0u32;
+        let r = walk_prps(0x1000, 0xd000, 4 * 4096, |a| {
+            calls += 1;
+            Err(PrpError::FetchFailed(a))
+        });
+        assert_eq!(r, Err(PrpError::FetchFailed(0xd000)));
+        assert_eq!(calls, 1);
     }
 
     #[test]

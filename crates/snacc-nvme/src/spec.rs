@@ -90,6 +90,17 @@ impl Status {
             _ => Status::InvalidField,
         }
     }
+
+    /// Whether a retry of the same command could plausibly succeed.
+    ///
+    /// `DataTransferError` reports a transport-level failure (a TLP that
+    /// never completed, an injected fault window) — the command itself is
+    /// well-formed, so a retry policy should re-issue it. The other error
+    /// statuses describe the command (bad opcode, malformed PRPs, range
+    /// overflow) and will fail identically every time.
+    pub fn is_transient(self) -> bool {
+        self == Status::DataTransferError
+    }
 }
 
 /// Wire-decode failure for the fixed-size NVMe structures.

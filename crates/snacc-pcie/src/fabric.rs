@@ -23,7 +23,7 @@ use crate::tlp::{wire_bytes, READ_REQUEST_BYTES};
 pub const CTRL_TLP_BYTES: u64 = 512;
 use snacc_mem::{AddrRange, AddressMap};
 use snacc_sim::stats::ByteMeter;
-use snacc_sim::{Engine, SharedLink, SimDuration, SimTime};
+use snacc_sim::{Engine, SharedLink, SimDuration, SimRng, SimTime};
 use snacc_trace as trace;
 use snacc_trace::MeterHandle;
 use std::cell::RefCell;
@@ -58,6 +58,15 @@ pub enum PcieError {
     /// Requester and target are the same node — local accesses must not be
     /// routed over the fabric (this is a model-wiring bug).
     LocalAccess,
+    /// The completion for a non-posted read never arrived (injected
+    /// fault; see [`PcieFaultConfig`]). A transient condition — callers
+    /// with a retry policy may re-issue the transaction.
+    CompletionTimeout {
+        /// Requesting node.
+        requester: NodeId,
+        /// Address of the timed-out read.
+        addr: u64,
+    },
 }
 
 impl fmt::Display for PcieError {
@@ -70,11 +79,84 @@ impl fmt::Display for PcieError {
                 write!(f, "unmapped PCIe access at {addr:#x} (+{len})")
             }
             PcieError::LocalAccess => write!(f, "local access routed over fabric"),
+            PcieError::CompletionTimeout { requester, addr } => {
+                write!(f, "completion timeout: node {requester:?} at {addr:#x}")
+            }
         }
     }
 }
 
 impl std::error::Error for PcieError {}
+
+/// Transactions below this size are never faulted: doorbells (4 B), CQEs
+/// (16 B), and SQE fetches stay reliable so an injected fault can only
+/// hit data movement, where the NVMe/streamer recovery path handles it.
+pub const FAULT_MIN_BYTES: u64 = 4096;
+
+/// Fault-injection configuration for the fabric (see
+/// [`PcieFabric::install_faults`]). Two independent mechanisms:
+///
+/// * **Completion timeouts** — a seeded draw aborts eligible non-posted
+///   reads with [`PcieError::CompletionTimeout`]. Posted writes are never
+///   timed out (they have no completion to lose), matching real PCIe.
+/// * **Link degradation** — every eligible transaction *issued* inside
+///   the window pays a fixed extra latency. Deterministic: no RNG draw,
+///   so it perturbs timing without consuming randomness.
+#[derive(Clone, Copy, Debug)]
+pub struct PcieFaultConfig {
+    /// Probability that an eligible non-posted read times out.
+    pub timeout_rate: f64,
+    /// Restrict timeout draws to `[start, end)` (`None` = whole run).
+    pub window: Option<(SimTime, SimTime)>,
+    /// Link-degradation window `[start, end)` (`None` = off).
+    pub degrade_window: Option<(SimTime, SimTime)>,
+    /// Extra latency per degraded transaction.
+    pub degrade_extra: SimDuration,
+    /// Seed for the timeout draws.
+    pub seed: u64,
+}
+
+impl PcieFaultConfig {
+    /// Timeouts only, across the whole run.
+    pub fn timeouts(rate: f64, seed: u64) -> Self {
+        PcieFaultConfig {
+            timeout_rate: rate,
+            window: None,
+            degrade_window: None,
+            degrade_extra: SimDuration::from_ns(0),
+            seed,
+        }
+    }
+
+    /// A degradation window only (no timeouts, no RNG consumption).
+    pub fn degraded(window: (SimTime, SimTime), extra: SimDuration) -> Self {
+        PcieFaultConfig {
+            timeout_rate: 0.0,
+            window: None,
+            degrade_window: Some(window),
+            degrade_extra: extra,
+            seed: 0,
+        }
+    }
+}
+
+/// Counters kept by the fabric fault injector.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PcieFaultStats {
+    /// Non-posted reads aborted with a completion timeout.
+    pub timeouts: u64,
+    /// Transactions that paid the link-degradation latency.
+    pub degraded: u64,
+}
+
+struct PcieFaultState {
+    cfg: PcieFaultConfig,
+    rng: SimRng,
+    stats: PcieFaultStats,
+    /// Registry counters (`faults.pcie.*`) for metrics snapshots.
+    reg_timeouts: trace::CounterHandle,
+    reg_degraded: trace::CounterHandle,
+}
 
 /// Decoded MMIO route: (offset within the window, owning node, target).
 type DecodedTarget = (u64, NodeId, Rc<RefCell<dyn MmioTarget>>);
@@ -105,6 +187,8 @@ pub struct PcieFabric {
     payload: ByteMeter,
     /// Registry mirror of `payload` (`pcie.payload` in metrics snapshots).
     payload_meter: MeterHandle,
+    /// Fault injector, absent in normal operation.
+    faults: Option<PcieFaultState>,
 }
 
 impl Default for PcieFabric {
@@ -124,6 +208,74 @@ impl PcieFabric {
             rc_forward: SimDuration::from_ns(100),
             payload: ByteMeter::new(),
             payload_meter: trace::metric_meter("pcie.payload"),
+            faults: None,
+        }
+    }
+
+    /// Install (or replace) the fault injector.
+    pub fn install_faults(&mut self, cfg: PcieFaultConfig) {
+        self.faults = Some(PcieFaultState {
+            rng: SimRng::new(cfg.seed),
+            cfg,
+            stats: PcieFaultStats::default(),
+            reg_timeouts: trace::metric_counter("faults.pcie.completion_timeouts"),
+            reg_degraded: trace::metric_counter("faults.pcie.degraded_tlps"),
+        });
+    }
+
+    /// Remove the fault injector.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Snapshot of the injector's counters (zeros if none installed).
+    pub fn fault_stats(&self) -> PcieFaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Draw a completion timeout for an eligible read issued at `start`.
+    fn draw_timeout(&mut self, en: &mut Engine, start: SimTime, len: u64, addr: u64) -> bool {
+        if len < FAULT_MIN_BYTES {
+            return false;
+        }
+        let Some(f) = &mut self.faults else {
+            return false;
+        };
+        let in_window = f.cfg.window.is_none_or(|(a, b)| start >= a && start < b);
+        if !in_window || f.cfg.timeout_rate <= 0.0 || !f.rng.gen_bool(f.cfg.timeout_rate) {
+            return false;
+        }
+        f.stats.timeouts += 1;
+        f.reg_timeouts.inc();
+        if trace::enabled() {
+            trace::instant(
+                en,
+                "pcie.faults",
+                "fault.completion_timeout",
+                &[("addr", addr), ("len", len)],
+            );
+        }
+        true
+    }
+
+    /// Apply the degradation window to a transaction issued at `start`
+    /// that would otherwise complete at `t`.
+    fn degrade(&mut self, start: SimTime, len: u64, t: SimTime) -> SimTime {
+        if len < FAULT_MIN_BYTES {
+            return t;
+        }
+        let Some(f) = &mut self.faults else {
+            return t;
+        };
+        let Some((a, b)) = f.cfg.degrade_window else {
+            return t;
+        };
+        if start >= a && start < b {
+            f.stats.degraded += 1;
+            f.reg_degraded.inc();
+            t + f.cfg.degrade_extra
+        } else {
+            t
         }
     }
 
@@ -266,6 +418,9 @@ impl PcieFabric {
         if requester == target_node {
             return Err(PcieError::LocalAccess);
         }
+        if self.draw_timeout(en, start, len, addr) {
+            return Err(PcieError::CompletionTimeout { requester, addr });
+        }
         let p2p = requester != HOST_NODE && target_node != HOST_NODE;
         let mps = self.mps_for(requester, target_node);
         self.payload.record(len);
@@ -315,6 +470,7 @@ impl PcieFabric {
                 l.transfer(t, wire)
             };
         }
+        t = self.degrade(start, len, t);
         // Bulk transfers (control TLPs would swamp the trace) get an
         // issue→completion span on the requesting device's track.
         if !small && trace::enabled() {
@@ -391,7 +547,7 @@ impl PcieFabric {
             };
         }
         let service = target.borrow_mut().write(en, t, offset, data);
-        let done = t + service;
+        let done = self.degrade(start, len, t + service);
         if !small && trace::enabled() {
             let dev = if requester != HOST_NODE {
                 requester
@@ -564,6 +720,47 @@ mod tests {
             fab.read_u32(&mut en, HOST_NODE, 0x1004).unwrap(),
             0xabcd_1234
         );
+    }
+
+    #[test]
+    fn injected_timeouts_spare_control_traffic() {
+        let (mut en, mut fab, fpga, _) = setup();
+        let t = scratch("bar");
+        fab.map_region(fpga, AddrRange::new(0x0, 0x10000), t);
+        fab.install_faults(PcieFaultConfig::timeouts(1.0, 7));
+        // A doorbell-sized read is never faulted.
+        assert!(fab.read_u32(&mut en, HOST_NODE, 0x0).is_ok());
+        // A bulk read times out every time at rate 1.0.
+        let mut buf = vec![0u8; 8192];
+        let e = fab.read(&mut en, HOST_NODE, 0x0, &mut buf);
+        assert!(matches!(e, Err(PcieError::CompletionTimeout { .. })));
+        assert_eq!(fab.fault_stats().timeouts, 1);
+        // Clearing the injector restores normal service.
+        fab.clear_faults();
+        fab.read(&mut en, HOST_NODE, 0x0, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn degradation_window_slows_bulk_transfers() {
+        let (mut en, mut fab, fpga, _) = setup();
+        let t = scratch("bar");
+        fab.map_region(fpga, AddrRange::new(0x0, 0x10000), t);
+        let buf = vec![0u8; 8192];
+        let clean = fab.write(&mut en, HOST_NODE, 0x0, &buf).unwrap();
+        let win = (SimTime::ZERO, SimTime::ZERO + SimDuration::from_us(1000));
+        fab.install_faults(PcieFaultConfig::degraded(win, SimDuration::from_us(5)));
+        let t1 = fab.write(&mut en, HOST_NODE, 0x0, &buf).unwrap();
+        // The degraded transfer finishes at least `degrade_extra` after
+        // the point the clean repeat would have (the wire time itself is
+        // well under 5 µs for 8 KiB on this link).
+        assert!(
+            t1.since(clean) >= SimDuration::from_us(5),
+            "{t1:?} vs {clean:?}"
+        );
+        assert_eq!(fab.fault_stats().degraded, 1);
+        // Control-sized traffic is untouched even inside the window.
+        fab.write_u32(&mut en, HOST_NODE, 0x0, 1).unwrap();
+        assert_eq!(fab.fault_stats().degraded, 1);
     }
 
     #[test]

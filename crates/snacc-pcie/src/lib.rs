@@ -34,6 +34,8 @@ pub mod target;
 pub mod tlp;
 
 pub use config::{PcieGen, PcieLinkConfig};
-pub use fabric::{NodeId, PcieError, PcieFabric, HOST_NODE};
+pub use fabric::{
+    NodeId, PcieError, PcieFabric, PcieFaultConfig, PcieFaultStats, FAULT_MIN_BYTES, HOST_NODE,
+};
 pub use iommu::Iommu;
 pub use target::MmioTarget;

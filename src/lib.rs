@@ -17,7 +17,9 @@
 //!   on-the-fly PRP synthesis and in-order retirement,
 //! * [`spdk`] — the host-CPU polling baseline,
 //! * [`apps`] — the Sec 6 image-classification case study,
-//! * [`trace`] — deterministic tracing, metrics and Perfetto export.
+//! * [`trace`] — deterministic tracing, metrics and Perfetto export,
+//! * [`faults`] — seed-driven fault campaigns across the net/PCIe/NVMe
+//!   layers, with streamer retry/recovery accounting.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +46,7 @@
 
 pub use snacc_apps as apps;
 pub use snacc_core as core;
+pub use snacc_faults as faults;
 pub use snacc_fpga as fpga;
 pub use snacc_mem as mem;
 pub use snacc_net as net;
@@ -57,8 +60,9 @@ pub use snacc_trace as trace;
 pub mod prelude {
     pub use snacc_apps::pipeline::{run_snacc_case_study, CaseStudyConfig};
     pub use snacc_apps::system::{SnaccSystem, SystemConfig};
-    pub use snacc_core::config::{RetirementMode, StreamerConfig, StreamerVariant};
+    pub use snacc_core::config::{RetirementMode, RetryPolicy, StreamerConfig, StreamerVariant};
     pub use snacc_core::streamer::{encode_read_cmd, StreamerHandle, UserPorts};
+    pub use snacc_faults::FaultPlan;
     pub use snacc_fpga::axis::{self, StreamBeat};
     pub use snacc_sim::{Engine, SimDuration, SimTime};
 }
