@@ -8,17 +8,23 @@
 //! With `--faults <plan.toml>` the sweep is replaced by a single run of
 //! the given campaign (any layers: NVMe, PCIe, retry policy all honoured).
 
+use snacc_bench::sweep::{self, JobOutput};
 use snacc_bench::workloads::{snacc_seq_bandwidth_with, Dir, FaultSummary};
 use snacc_bench::{print_table, BenchRecord, Telemetry};
 use snacc_core::config::StreamerVariant;
 use snacc_faults::FaultPlan;
 
-fn campaign(label: &str, plan: &FaultPlan, total: u64) -> (BenchRecord, FaultSummary) {
-    eprintln!("[ext_faults] running {label}...");
+fn campaign(
+    log: &mut JobOutput,
+    label: &str,
+    plan: &FaultPlan,
+    total: u64,
+) -> (BenchRecord, FaultSummary) {
+    log.eprintln(format!("[ext_faults] running {label}..."));
     let (series, summary) =
         snacc_seq_bandwidth_with(StreamerVariant::Uram, Dir::Read, total, Some(plan));
     let s = summary.expect("a plan was installed");
-    eprintln!("[ext_faults] {label}: {s}");
+    log.eprintln(format!("[ext_faults] {label}: {s}"));
     assert_eq!(
         s.injected_failures(),
         s.retries + s.gave_up,
@@ -36,33 +42,42 @@ fn main() {
         1 << 30
     };
 
-    let mut records = Vec::new();
-    let mut summaries = Vec::new();
-    if let Some(plan) = telemetry.fault_plan() {
-        let (r, s) = campaign("--faults plan", plan, total);
-        records.push(r);
-        summaries.push(("--faults plan".to_string(), s));
+    // Declare the campaign grid, then fan it across the sweep pool.
+    let grid: Vec<(String, FaultPlan)> = if let Some(plan) = telemetry.fault_plan() {
+        vec![("--faults plan".to_string(), plan.clone())]
     } else {
         // Baseline plus an error-rate sweep under a 3-attempt retry
         // budget. At these rates a command needs 4 consecutive failed
         // attempts to be lost, so recovery should stay total until the
         // highest rates.
-        let baseline = FaultPlan::parse("seed = 7").expect("static plan");
-        let (r, s) = campaign("error_rate 0", &baseline, total);
-        records.push(r);
-        summaries.push(("error_rate 0".to_string(), s));
+        let mut g = vec![(
+            "error_rate 0".to_string(),
+            FaultPlan::parse("seed = 7").expect("static plan"),
+        )];
         for rate in [0.01f64, 0.02, 0.05, 0.10, 0.20] {
             let toml = format!(
                 "seed = 7\n[retry]\nmax_retries = 3\nbackoff_us = 10\n\
                  [nvme]\nerror_rate = {rate}\n"
             );
-            let plan = FaultPlan::parse(&toml).expect("generated plan");
-            let label = format!("error_rate {rate}");
-            let (r, s) = campaign(&label, &plan, total);
-            records.push(r);
-            summaries.push((label, s));
+            g.push((
+                format!("error_rate {rate}"),
+                FaultPlan::parse(&toml).expect("generated plan"),
+            ));
         }
-    }
+        g
+    };
+    type CampaignResult = (BenchRecord, (String, FaultSummary));
+    let work: Vec<sweep::Job<'_, CampaignResult>> = grid
+        .into_iter()
+        .map(|(label, plan)| {
+            Box::new(move |log: &mut JobOutput| {
+                let (r, s) = campaign(log, &label, &plan, total);
+                (r, (label, s))
+            }) as sweep::Job<'_, CampaignResult>
+        })
+        .collect();
+    let (records, summaries): (Vec<_>, Vec<_>) =
+        sweep::run_jobs(telemetry.jobs(), work).into_iter().unzip();
 
     print_table(
         "Ext — sequential read bandwidth under NVMe fault injection",

@@ -6,6 +6,7 @@ use snacc_apps::gpu::{run_gpu_case_study, GpuModel};
 use snacc_apps::pipeline::{run_snacc_case_study_with, CaseStudyConfig};
 use snacc_apps::spdk_ref::run_spdk_case_study;
 use snacc_apps::system::{SnaccSystem, SystemConfig};
+use snacc_bench::sweep::{self, JobOutput};
 use snacc_bench::workloads::FaultSummary;
 use snacc_bench::{print_table, BenchRecord, Telemetry};
 use snacc_core::config::StreamerVariant;
@@ -51,44 +52,49 @@ fn main() {
         ("SPDK".to_string(), Cfg::Spdk(6.1)),
         ("GPU".to_string(), Cfg::Gpu(5.76)),
     ];
-    let records: Vec<BenchRecord> = jobs
+    let work: Vec<sweep::Job<'_, BenchRecord>> = jobs
         .into_iter()
         .map(|(label, job)| {
-            let (report, paper) = match job {
-                Cfg::Snacc(v, paper) => {
-                    let syscfg = match plan {
-                        Some(p) => SystemConfig::snacc_faulted(v, p),
-                        None => SystemConfig::snacc(v),
-                    };
-                    let mut sys = SnaccSystem::bring_up(syscfg);
-                    let base = plan.map(|_| FaultSummary::from_system(&sys));
-                    let r = run_snacc_case_study_with(&mut sys, cfg.clone(), plan);
-                    if let Some(base) = base {
-                        let s = FaultSummary::from_system(&sys).since(&base);
-                        eprintln!(
-                            "[fig6] {label} faults: {s}, resyncs {}, bytes_skipped {}",
-                            r.resyncs, r.bytes_skipped
-                        );
+            let cfg = cfg.clone();
+            Box::new(move |log: &mut JobOutput| {
+                let (report, paper) = match job {
+                    Cfg::Snacc(v, paper) => {
+                        let syscfg = match plan {
+                            Some(p) => SystemConfig::snacc_faulted(v, p),
+                            None => SystemConfig::snacc(v),
+                        };
+                        let mut sys = SnaccSystem::bring_up(syscfg);
+                        let base = plan.map(|_| FaultSummary::from_system(&sys));
+                        let r = run_snacc_case_study_with(&mut sys, cfg.clone(), plan);
+                        if let Some(base) = base {
+                            let s = FaultSummary::from_system(&sys).since(&base);
+                            log.eprintln(format!(
+                                "[fig6] {label} faults: {s}, resyncs {}, bytes_skipped {}",
+                                r.resyncs, r.bytes_skipped
+                            ));
+                        }
+                        // Release functional media (Rc cycles keep the
+                        // system alive; GiB-scale stores must not
+                        // accumulate).
+                        sys.nvme.with(|d| d.nand_mut().media_mut().clear());
+                        sys.hostmem.borrow_mut().store_mut().clear();
+                        (r, paper)
                     }
-                    // Release functional media (Rc cycles keep the system
-                    // alive; GiB-scale stores must not accumulate).
-                    sys.nvme.with(|d| d.nand_mut().media_mut().clear());
-                    sys.hostmem.borrow_mut().store_mut().clear();
-                    (r, paper)
-                }
-                Cfg::Spdk(paper) => (run_spdk_case_study(cfg.clone(), 7), paper),
-                Cfg::Gpu(paper) => (
-                    run_gpu_case_study(cfg.clone(), GpuModel::default(), 7),
-                    paper,
-                ),
-            };
-            println!(
-                "{label}: {:.2} GB/s, {:.0} frames/s, accuracy {}/{}",
-                report.bandwidth_gbps, report.fps, report.correct, report.classified
-            );
-            BenchRecord::new("fig6", &label, report.bandwidth_gbps, Some(paper), "GB/s")
+                    Cfg::Spdk(paper) => (run_spdk_case_study(cfg.clone(), 7), paper),
+                    Cfg::Gpu(paper) => (
+                        run_gpu_case_study(cfg.clone(), GpuModel::default(), 7),
+                        paper,
+                    ),
+                };
+                log.println(format!(
+                    "{label}: {:.2} GB/s, {:.0} frames/s, accuracy {}/{}",
+                    report.bandwidth_gbps, report.fps, report.correct, report.classified
+                ));
+                BenchRecord::new("fig6", &label, report.bandwidth_gbps, Some(paper), "GB/s")
+            }) as sweep::Job<'_, BenchRecord>
         })
         .collect();
+    let records = sweep::run_jobs(telemetry.jobs(), work);
     print_table(
         "Fig 6 — case-study bandwidth (GB/s; paper: 676 f/s at 6.1)",
         &records,

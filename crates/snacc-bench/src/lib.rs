@@ -17,11 +17,13 @@
 //! | `ext_qd_sweep`  | Sec 5.2 note | SPDK random read vs queue depth |
 //! | `ext_flowctl`   | Sec 4.7 | Ethernet flow control losslessness |
 //!
-//! The library half hosts the shared workload drivers; the `rayon`
-//! parallelism lives in the binaries (independent simulations fan out
-//! across cores).
+//! The library half hosts the shared workload drivers plus the
+//! deterministic sweep pool ([`sweep`]): binaries declare their job grid
+//! and fan independent simulations across `--jobs N` worker threads with
+//! byte-identical output at any worker count.
 
 pub mod report;
+pub mod sweep;
 pub mod telemetry;
 pub mod workloads;
 

@@ -1,0 +1,178 @@
+//! Deterministic parallel sweep runner.
+//!
+//! The figure binaries are sweeps: a list of self-contained simulation
+//! jobs (variant × direction × seed), each bringing up its own
+//! [`Engine`](snacc_sim::Engine) world. Jobs share no state, so they can
+//! run on worker threads — but the simulation stack is intentionally
+//! single-threaded (`Rc`-based, thread-local tracer/metrics), so each job
+//! must *construct and run* its world entirely on one thread.
+//!
+//! [`run_jobs`] provides exactly that: a fixed worker pool pulls jobs in
+//! index order, every job's console output is captured in a [`JobOutput`]
+//! buffer, and the main thread flushes buffers strictly in job order. The
+//! visible byte stream is therefore identical for `--jobs 1` and
+//! `--jobs N` (CI asserts this; see `tests/jobs_determinism.rs`), and
+//! identical to the pre-pool sequential binaries.
+//!
+//! Telemetry caveat: the tracer, metrics registry and the engine's
+//! lifetime event counter are thread-local, so runs recording `--trace`,
+//! `--metrics-json` or `--perf-json` degrade to one worker
+//! ([`Telemetry::jobs`](crate::Telemetry::jobs) handles this).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+
+/// Captured console output of one sweep job. Jobs print through this
+/// handle instead of `println!`/`eprintln!`; the runner flushes each
+/// job's lines (stderr first, then stdout) in job order.
+#[derive(Default)]
+pub struct JobOutput {
+    out: Vec<String>,
+    err: Vec<String>,
+}
+
+impl JobOutput {
+    /// Buffer a stdout line.
+    pub fn println(&mut self, line: impl Into<String>) {
+        self.out.push(line.into());
+    }
+
+    /// Buffer a stderr line (progress/diagnostics).
+    pub fn eprintln(&mut self, line: impl Into<String>) {
+        self.err.push(line.into());
+    }
+
+    fn flush(self) {
+        for l in self.err {
+            eprintln!("{l}");
+        }
+        for l in self.out {
+            println!("{l}");
+        }
+    }
+}
+
+/// One sweep job: runs a self-contained simulation, printing through the
+/// given [`JobOutput`].
+pub type Job<'a, R> = Box<dyn FnOnce(&mut JobOutput) -> R + Send + 'a>;
+
+enum Slot<R> {
+    Done(JobOutput, R),
+    Panicked(JobOutput, Box<dyn std::any::Any + Send>),
+}
+
+fn run_one<R>(job: Job<'_, R>) -> Slot<R> {
+    let mut log = JobOutput::default();
+    match catch_unwind(AssertUnwindSafe(|| job(&mut log))) {
+        Ok(r) => Slot::Done(log, r),
+        Err(p) => Slot::Panicked(log, p),
+    }
+}
+
+fn settle<R>(slot: Slot<R>) -> R {
+    match slot {
+        Slot::Done(log, r) => {
+            log.flush();
+            r
+        }
+        Slot::Panicked(log, p) => {
+            log.flush();
+            resume_unwind(p);
+        }
+    }
+}
+
+/// Run `jobs` on a pool of `workers` threads, returning results in job
+/// order. Output is flushed strictly in job order, so the byte stream is
+/// independent of the worker count. `workers <= 1` runs inline with no
+/// threads (the CI-deterministic default). A panicking job still flushes
+/// its output, then the panic resumes on the caller's thread.
+pub fn run_jobs<'a, R: Send>(workers: usize, jobs: Vec<Job<'a, R>>) -> Vec<R> {
+    let n = jobs.len();
+    if workers <= 1 || n <= 1 {
+        return jobs.into_iter().map(|j| settle(run_one(j))).collect();
+    }
+    let workers = workers.min(n);
+    let queue: Mutex<VecDeque<(usize, Job<'a, R>)>> =
+        Mutex::new(jobs.into_iter().enumerate().collect());
+    let slots: Mutex<Vec<Option<Slot<R>>>> = Mutex::new((0..n).map(|_| None).collect());
+    let done = Condvar::new();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let next = queue.lock().expect("queue lock").pop_front();
+                let Some((i, job)) = next else {
+                    break;
+                };
+                let slot = run_one(job);
+                slots.lock().expect("slot lock")[i] = Some(slot);
+                done.notify_all();
+            });
+        }
+        // Flush and collect in job order as results land.
+        let mut results = Vec::with_capacity(n);
+        for i in 0..n {
+            let slot = {
+                let mut g = slots.lock().expect("slot lock");
+                while g[i].is_none() {
+                    g = done.wait(g).expect("slot wait");
+                }
+                g[i].take().expect("checked above")
+            };
+            results.push(settle(slot));
+        }
+        results
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs(n: usize) -> Vec<Job<'static, usize>> {
+        (0..n)
+            .map(|i| {
+                Box::new(move |log: &mut JobOutput| {
+                    log.eprintln(format!("job {i} starting"));
+                    log.println(format!("job {i} result"));
+                    i * 10
+                }) as Job<'static, usize>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_are_in_job_order() {
+        for workers in [1, 2, 4, 16] {
+            let got = run_jobs(workers, jobs(9));
+            assert_eq!(got, (0..9).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn borrows_are_allowed() {
+        // Jobs may borrow caller state (e.g. a fault plan).
+        let shared = vec![1u64, 2, 3];
+        let work: Vec<Job<'_, u64>> = (0..3)
+            .map(|i| {
+                let shared = &shared;
+                Box::new(move |_: &mut JobOutput| shared[i]) as Job<'_, u64>
+            })
+            .collect();
+        assert_eq!(run_jobs(3, work), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn panic_propagates_after_flush() {
+        let work: Vec<Job<'static, ()>> = vec![
+            Box::new(|_| ()),
+            Box::new(|log: &mut JobOutput| {
+                log.eprintln("about to fail");
+                panic!("boom");
+            }),
+        ];
+        let r = catch_unwind(AssertUnwindSafe(|| run_jobs(2, work)));
+        assert!(r.is_err());
+    }
+}

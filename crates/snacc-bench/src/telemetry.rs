@@ -17,6 +17,11 @@
 //! the shipped `plans/*.toml`); binaries that support fault campaigns
 //! fetch it with [`Telemetry::fault_plan`] and wire it into their
 //! systems.
+//!
+//! `--jobs <N>` sizes the sweep worker pool ([`Telemetry::jobs`]): sweep
+//! binaries fan their independent simulation jobs across `N` threads with
+//! byte-identical output (see [`crate::sweep`]). Defaults to 1; forced
+//! back to 1 while any telemetry sink is recording.
 
 use snacc_faults::FaultPlan;
 use snacc_trace::{MetricsRegistry, Tracer};
@@ -30,6 +35,7 @@ pub struct Telemetry {
     metrics_path: Option<PathBuf>,
     perf_path: Option<PathBuf>,
     fault_plan: Option<FaultPlan>,
+    jobs: usize,
     started: Instant,
 }
 
@@ -38,6 +44,7 @@ struct Flags {
     metrics_path: Option<PathBuf>,
     perf_path: Option<PathBuf>,
     faults_path: Option<PathBuf>,
+    jobs: usize,
 }
 
 fn parse(args: impl Iterator<Item = String>) -> Flags {
@@ -46,6 +53,7 @@ fn parse(args: impl Iterator<Item = String>) -> Flags {
         metrics_path: None,
         perf_path: None,
         faults_path: None,
+        jobs: 1,
     };
     let mut args = args;
     while let Some(a) = args.next() {
@@ -65,6 +73,10 @@ fn parse(args: impl Iterator<Item = String>) -> Flags {
             f.faults_path = args.next().map(PathBuf::from);
         } else if let Some(p) = a.strip_prefix("--faults=") {
             f.faults_path = Some(PathBuf::from(p));
+        } else if a == "--jobs" {
+            f.jobs = args.next().and_then(|v| v.parse().ok()).unwrap_or(1);
+        } else if let Some(p) = a.strip_prefix("--jobs=") {
+            f.jobs = p.parse().unwrap_or(1);
         }
     }
     f
@@ -150,6 +162,7 @@ impl Telemetry {
             metrics_path: f.metrics_path,
             perf_path: f.perf_path,
             fault_plan,
+            jobs: f.jobs,
             started: Instant::now(),
         }
     }
@@ -167,6 +180,20 @@ impl Telemetry {
     /// runs).
     pub fn tracing(&self) -> bool {
         self.trace_path.is_some() || self.perf_path.is_some()
+    }
+
+    /// Worker count for the sweep pool (`--jobs N`, default 1). Degrades
+    /// to 1 whenever telemetry is recording: the tracer, the metrics
+    /// registry and the engine's lifetime event counter are all
+    /// thread-local, so a fan-out would record nothing (and make
+    /// `--perf-json` events/RSS incomparable). The sweep output itself is
+    /// byte-identical at any worker count (see `snacc_bench::sweep`).
+    pub fn jobs(&self) -> usize {
+        if self.trace_path.is_some() || self.metrics_path.is_some() || self.perf_path.is_some() {
+            1
+        } else {
+            self.jobs.max(1)
+        }
     }
 
     /// Write the requested export files and stop recording.
@@ -236,6 +263,16 @@ mod tests {
         assert_eq!(f.faults_path, Some(PathBuf::from("plans/flaky_ssd.toml")));
         let f = parse(strings(&["--faults=x.toml"]));
         assert_eq!(f.faults_path, Some(PathBuf::from("x.toml")));
+        let f = parse(strings(&["--jobs", "8"]));
+        assert_eq!(f.jobs, 8);
+        let f = parse(strings(&["--jobs=4"]));
+        assert_eq!(f.jobs, 4);
+    }
+
+    #[test]
+    fn jobs_defaults_to_one() {
+        let f = parse(strings(&[]));
+        assert_eq!(f.jobs, 1);
     }
 
     #[test]

@@ -401,7 +401,9 @@ pub fn spdk_bandwidth(dir: Dir, random: bool, total: u64, qd: u16, seed: u64) ->
     }
     let addrs = std::rc::Rc::new(addrs);
     let a2 = addrs.clone();
-    let payload: Vec<u8> = (0..cmd).map(fill_byte).collect();
+    // fill_byte(i) == pattern_byte(0, i): one shared lazy pattern segment;
+    // per-command submits clone an Rc instead of copying `cmd` bytes.
+    let payload = snacc_sim::Payload::pattern(0, cmd as usize);
     let pay2 = payload.clone();
     spdk.set_completion_hook(move |en, _info| {
         let mut i = issued2.borrow_mut();
@@ -409,7 +411,7 @@ pub fn spdk_bandwidth(dir: Dir, random: bool, total: u64, qd: u16, seed: u64) ->
             let addr = a2[*i as usize];
             let r = match dir {
                 Dir::Read => spdk2.submit_read(en, addr, cmd),
-                Dir::Write => spdk2.submit_write(en, addr, &pay2),
+                Dir::Write => spdk2.submit_write_payload(en, addr, pay2.clone()),
             };
             if r.is_ok() {
                 *i += 1;
@@ -424,7 +426,7 @@ pub fn spdk_bandwidth(dir: Dir, random: bool, total: u64, qd: u16, seed: u64) ->
             match dir {
                 Dir::Read => spdk.submit_read(&mut host.en, addr, cmd).expect("prime"),
                 Dir::Write => spdk
-                    .submit_write(&mut host.en, addr, &payload)
+                    .submit_write_payload(&mut host.en, addr, payload.clone())
                     .expect("prime"),
             };
             *i += 1;
@@ -455,7 +457,7 @@ pub fn spdk_seq_series(dir: Dir, total: u64, seed: u64) -> Vec<f64> {
     if dir == Dir::Read {
         host.nvme.with(|d| d.nand_mut().prewarm(0, total, 0x22));
     }
-    let payload: Vec<u8> = (0..(1 << 20)).map(|i| fill_byte(i as u64)).collect();
+    let payload = snacc_sim::Payload::pattern(0, 1 << 20);
     let mut off = 0u64;
     while off < total {
         let end = (off + gib).min(total);
@@ -471,7 +473,9 @@ pub fn spdk_seq_series(dir: Dir, total: u64, seed: u64) -> Vec<f64> {
             while cur < end && spdk.can_submit() {
                 match dir {
                     Dir::Read => spdk.submit_read(&mut host.en, cur, 1 << 20).map(|_| ()),
-                    Dir::Write => spdk.submit_write(&mut host.en, cur, &payload).map(|_| ()),
+                    Dir::Write => spdk
+                        .submit_write_payload(&mut host.en, cur, payload.clone())
+                        .map(|_| ()),
                 }
                 .expect("submit");
                 cur += 1 << 20;
@@ -508,14 +512,14 @@ pub fn spdk_latency_us(dir: Dir, trials: u32, seed: u64) -> f64 {
         *l2.borrow_mut() = info.completed.since(info.submitted);
     });
     let mut rng = snacc_sim::SimRng::new(seed);
-    let payload: Vec<u8> = (0..4096).map(fill_byte).collect();
+    let payload = snacc_sim::Payload::pattern(0, 4096);
     let mut sum = 0.0;
     for _ in 0..trials {
         let addr = (40 << 30) + rng.gen_range(1 << 18) * 4096;
         match dir {
             Dir::Read => spdk.submit_read(&mut host.en, addr, 4096).expect("submit"),
             Dir::Write => spdk
-                .submit_write(&mut host.en, addr, &payload)
+                .submit_write_payload(&mut host.en, addr, payload.clone())
                 .expect("submit"),
         };
         host.en.run();

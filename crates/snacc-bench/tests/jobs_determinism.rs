@@ -1,0 +1,38 @@
+//! CI gate: a `--jobs N` sweep must be byte-identical to `--jobs 1`.
+//!
+//! Runs the `ext_faults` campaign sweep (6 independent faulted
+//! simulations) twice in quick mode and compares both console streams
+//! byte for byte. The sweep pool buffers each job's output and flushes in
+//! job order (see `snacc_bench::sweep`), so worker count must not leak
+//! into anything observable.
+
+use std::process::Command;
+
+fn run(jobs: &str) -> (String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ext_faults"))
+        .args(["--jobs", jobs])
+        .env("SNACC_QUICK", "1")
+        .output()
+        .expect("run ext_faults");
+    assert!(out.status.success(), "ext_faults --jobs {jobs} failed");
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+    )
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "runs GiB-scale sweeps; use --release (CI does)"
+)]
+fn parallel_sweep_output_is_byte_identical() {
+    let (out1, err1) = run("1");
+    let (out4, err4) = run("4");
+    assert!(
+        out1.contains("error_rate"),
+        "sweep produced no table:\n{out1}"
+    );
+    assert_eq!(out1, out4, "stdout differs between --jobs 1 and --jobs 4");
+    assert_eq!(err1, err4, "stderr differs between --jobs 1 and --jobs 4");
+}

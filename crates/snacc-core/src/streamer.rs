@@ -29,6 +29,7 @@ use snacc_nvme::queue::{CqRing, SqRing};
 use snacc_nvme::spec::{self, Cqe, IoOpcode, Sqe};
 use snacc_pcie::target::{NotifyTarget, ScratchTarget};
 use snacc_pcie::{NodeId, PcieFabric};
+use snacc_sim::bytes::Payload;
 use snacc_sim::{Engine, SimDuration, SimTime};
 use snacc_trace::{self as trace, CounterHandle, HistogramHandle};
 use std::cell::RefCell;
@@ -812,14 +813,15 @@ fn ctrl_write(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine, off: u64, value: 
     }
 }
 
-/// Timed + functional buffer write (local datapath or host DMA).
+/// Timed + functional buffer write (local datapath or host DMA). The
+/// backing store retains the payload window zero-copy.
 fn buf_write(
     rc: &Rc<RefCell<NvmeStreamer>>,
     en: &mut Engine,
     start: SimTime,
     kind: BufKind,
     offset: u64,
-    data: &[u8],
+    data: Payload,
 ) -> SimTime {
     enum Op {
         Uram(Rc<RefCell<UramModel>>),
@@ -856,14 +858,8 @@ fn buf_write(
         }
     };
     match op {
-        Op::Uram(mem) => {
-            let mut m = mem.borrow_mut();
-            // The local port books from `start`.
-            let t = m.access(start, snacc_mem::MemDir::Write, offset, data.len() as u64);
-            m.store_mut().write(offset, data);
-            t
-        }
-        Op::Dram(mem, base) => mem.borrow_mut().write(start, base + offset, data),
+        Op::Uram(mem) => mem.borrow_mut().write_payload(start, offset, data),
+        Op::Dram(mem, base) => mem.borrow_mut().write_payload(start, base + offset, data),
         Op::Host(pinned, fabric, node) => {
             // Cross pinned segments as needed.
             let mut t = start;
@@ -880,7 +876,7 @@ fn buf_write(
                 let n = ((seg_end - phys) as usize).min(data.len() - off);
                 let done = fabric
                     .borrow_mut()
-                    .write_at(en, t.max(en.now()), node, phys, &data[off..off + n])
+                    .write_payload_at(en, t.max(en.now()), node, phys, data.slice(off..off + n))
                     .expect("host buffer reachable");
                 t = done;
                 off += n;
@@ -890,15 +886,16 @@ fn buf_write(
     }
 }
 
-/// Timed + functional buffer read.
-fn buf_read(
+/// Timed + functional buffer read: returns the buffered bytes as a
+/// zero-copy payload view plus the completion time.
+fn buf_read_payload(
     rc: &Rc<RefCell<NvmeStreamer>>,
     en: &mut Engine,
     start: SimTime,
     kind: BufKind,
     offset: u64,
-    out: &mut [u8],
-) -> SimTime {
+    len: usize,
+) -> (Payload, SimTime) {
     enum Op {
         Uram(Rc<RefCell<UramModel>>),
         Dram(Rc<RefCell<DramController>>, u64),
@@ -934,17 +931,13 @@ fn buf_read(
         }
     };
     match op {
-        Op::Uram(mem) => {
-            let mut m = mem.borrow_mut();
-            let t = m.access(start, snacc_mem::MemDir::Read, offset, out.len() as u64);
-            m.store_mut().read(offset, out);
-            t
-        }
-        Op::Dram(mem, base) => mem.borrow_mut().read(start, base + offset, out),
+        Op::Uram(mem) => mem.borrow_mut().read_payload(start, offset, len),
+        Op::Dram(mem, base) => mem.borrow_mut().read_payload(start, base + offset, len),
         Op::Host(pinned, fabric, node) => {
             let mut t = start;
             let mut off = 0usize;
-            while off < out.len() {
+            let mut parts: Vec<Payload> = Vec::new();
+            while off < len {
                 let logical = offset + off as u64;
                 let phys = pinned.phys_addr(logical);
                 let seg_end = pinned
@@ -953,15 +946,16 @@ fn buf_read(
                     .find(|s| s.contains(phys))
                     .expect("phys in a segment")
                     .end();
-                let n = ((seg_end - phys) as usize).min(out.len() - off);
-                let done = fabric
+                let n = ((seg_end - phys) as usize).min(len - off);
+                let (chunk, done) = fabric
                     .borrow_mut()
-                    .read_at(en, t.max(en.now()), node, phys, &mut out[off..off + n])
+                    .read_payload_at(en, t.max(en.now()), node, phys, n as u64)
                     .expect("host buffer reachable");
+                parts.push(chunk);
                 t = done;
                 off += n;
             }
-            t
+            (Payload::concat(&parts), t)
         }
     }
 }
@@ -1103,16 +1097,16 @@ fn pump_write_in(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
     let chunk_is_final = leftover.is_none() && beat.last;
 
     rc.borrow_mut().wr_busy = true;
+    let chunk_len = chunk.len() as u64;
     let t_done = buf_write(
         rc,
         en,
         en.now(),
         BufKind::Write,
         region.offset + filled,
-        &chunk,
+        chunk,
     );
     let rc2 = rc.clone();
-    let chunk_len = chunk.len() as u64;
     en.schedule_at(t_done.max(en.now()), move |en| {
         let mut issue_needed = false;
         {
@@ -1758,21 +1752,20 @@ fn stream_out_step(rc: &Rc<RefCell<NvmeStreamer>>, en: &mut Engine) {
             }
             Next::Wait => return,
             Next::Issue(region, pos, chunk, last_of_xfer, total) => {
-                let mut data = vec![0u8; chunk as usize];
-                let t = buf_read(
+                let (data, t) = buf_read_payload(
                     rc,
                     en,
                     en.now(),
                     BufKind::Read,
                     region.offset + pos,
-                    &mut data,
+                    chunk as usize,
                 );
                 let is_last_beat = last_of_xfer && pos + chunk == total;
                 let rc2 = rc.clone();
                 en.schedule_at(t.max(en.now()), move |en| {
                     let ch = rc2.borrow().ports.rd_data.clone();
                     let beat = StreamBeat {
-                        data: data.into(),
+                        data,
                         last: is_last_beat,
                     };
                     let ok = axis::push(&ch, en, beat);

@@ -58,10 +58,16 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "SL008",
-        summary: "no .to_vec()/.clone() on payload buffers (`data`/`payload`) in model-crate hot paths — share snacc_sim::Payload windows",
+        summary: "no .to_vec()/.clone() on payload buffers (`data`/`payload`) in model-crate hot paths — share snacc_sim::Payload windows; in the functional-media layer (snacc-mem, nand.rs) ANY .to_vec()/copy_from_slice() byte materialisation is flagged",
         scope: "all simulation crates (non-test code; tests/examples exempt)",
     },
 ];
+
+/// Functional-media files where the zero-copy discipline is strict: the
+/// segment store keeps written payload windows as metadata, so *any* byte
+/// materialisation here (not just on `data`/`payload` receivers) defeats
+/// the design and must be triaged in `lint-allow.toml`.
+const MEDIA_STRICT: &[&str] = &["crates/snacc-mem/", "crates/snacc-nvme/src/nand.rs"];
 
 /// Wire-decode modules subject to SL004.
 const DECODE_MODULES: &[&str] = &[
@@ -612,9 +618,30 @@ fn sl008(ctx: &FileCtx, out: &mut Vec<Violation>) {
     if !is_sim_crate(ctx.krate) {
         return;
     }
+    let strict = MEDIA_STRICT
+        .iter()
+        .any(|p| ctx.rel_path.starts_with(p) || ctx.rel_path == *p);
     for (i, line) in ctx.clean_lines.iter().enumerate() {
         if ctx.in_test[i] || ctx.in_test_dir {
             continue;
+        }
+        if strict {
+            // Any materialisation in the functional-media layer.
+            if let Some(op) = [".to_vec(", "copy_from_slice("]
+                .into_iter()
+                .find(|op| line.contains(op))
+            {
+                out.push(ctx.violation(
+                    "SL008",
+                    i,
+                    format!(
+                        "`{op})` materialises bytes in the functional-media layer; keep \
+                         snacc_sim::Payload windows zero-copy through the segment store \
+                         (triage deliberate boundaries in lint-allow.toml)"
+                    ),
+                ));
+                continue;
+            }
         }
         for op in [".to_vec(", ".clone("] {
             if let Some(recv) = payload_receiver(line, op) {

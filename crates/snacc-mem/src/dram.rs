@@ -8,7 +8,8 @@
 //! That is the mechanism behind the paper's reduced 4.6–4.8 GB/s on-board
 //! write bandwidth, and it is what this model reproduces.
 
-use crate::sparse::SparseMemory;
+use crate::segment::SegmentMemory;
+use snacc_sim::bytes::Payload;
 use snacc_sim::stats::Counter;
 use snacc_sim::{Bandwidth, SharedLink, SimDuration, SimTime};
 
@@ -51,10 +52,10 @@ impl DramConfig {
     }
 }
 
-/// A single DRAM channel: functional sparse store + half-duplex timing.
+/// A single DRAM channel: functional segment store + half-duplex timing.
 pub struct DramController {
     cfg: DramConfig,
-    store: SparseMemory,
+    store: SegmentMemory,
     bus: SharedLink,
     last_dir: Option<MemDir>,
     direction_switches: Counter,
@@ -68,7 +69,7 @@ impl DramController {
         let bus = SharedLink::new(name, cfg.bandwidth, SimDuration::ZERO);
         DramController {
             cfg,
-            store: SparseMemory::new(),
+            store: SegmentMemory::new(),
             bus,
             last_dir: None,
             direction_switches: Counter::new(),
@@ -104,7 +105,7 @@ impl DramController {
 
     /// Direct functional access to the backing store (no timing) — used by
     /// initialisation code and by tests that verify datapath integrity.
-    pub fn store_mut(&mut self) -> &mut SparseMemory {
+    pub fn store_mut(&mut self) -> &mut SegmentMemory {
         &mut self.store
     }
 
@@ -144,6 +145,21 @@ impl DramController {
     pub fn read(&mut self, now: SimTime, addr: u64, out: &mut [u8]) -> SimTime {
         self.store.read(addr, out);
         self.access(now, MemDir::Read, out.len() as u64)
+    }
+
+    /// Timed + functional zero-copy write: the store retains the payload
+    /// window; timing is identical to [`write`](Self::write).
+    pub fn write_payload(&mut self, now: SimTime, addr: u64, data: Payload) -> SimTime {
+        let len = data.len() as u64;
+        self.store.write_payload(addr, data);
+        self.access(now, MemDir::Write, len)
+    }
+
+    /// Timed + functional zero-copy read: returns the stored bytes as a
+    /// payload view; timing is identical to [`read`](Self::read).
+    pub fn read_payload(&mut self, now: SimTime, addr: u64, len: usize) -> (Payload, SimTime) {
+        let p = self.store.read_payload(addr, len);
+        (p, self.access(now, MemDir::Read, len as u64))
     }
 }
 

@@ -12,7 +12,8 @@
 //! any of the paper's experiments, and that property carries over here.
 
 use crate::addr::AddrRange;
-use crate::sparse::SparseMemory;
+use crate::segment::SegmentMemory;
+use snacc_sim::bytes::Payload;
 use snacc_sim::{Bandwidth, SharedLink, SimDuration, SimTime};
 
 /// The kernel driver's maximum physically contiguous allocation (Sec 4.3).
@@ -70,10 +71,10 @@ impl PinnedBuffer {
     }
 }
 
-/// Host DRAM: functional sparse store + a full-duplex timing port per
+/// Host DRAM: functional segment store + a full-duplex timing port per
 /// direction, plus the pinned-buffer allocator.
 pub struct HostMemory {
-    store: SparseMemory,
+    store: SegmentMemory,
     read_port: SharedLink,
     write_port: SharedLink,
     pin_cursor: u64,
@@ -116,7 +117,7 @@ impl HostMemory {
     /// Create host memory with the given configuration.
     pub fn new(cfg: HostMemConfig) -> Self {
         HostMemory {
-            store: SparseMemory::new(),
+            store: SegmentMemory::new(),
             read_port: SharedLink::new("hostmem.rd", cfg.bandwidth, cfg.latency),
             write_port: SharedLink::new("hostmem.wr", cfg.bandwidth, cfg.latency),
             pin_cursor: cfg.pinned_base,
@@ -155,7 +156,7 @@ impl HostMemory {
     }
 
     /// Direct functional access (no timing).
-    pub fn store_mut(&mut self) -> &mut SparseMemory {
+    pub fn store_mut(&mut self) -> &mut SegmentMemory {
         &mut self.store
     }
 
@@ -179,6 +180,21 @@ impl HostMemory {
     pub fn read(&mut self, now: SimTime, addr: u64, out: &mut [u8]) -> SimTime {
         self.store.read(addr, out);
         self.book_read(now, out.len() as u64)
+    }
+
+    /// Timed + functional zero-copy write: the store retains the payload
+    /// window; timing is identical to [`write`](Self::write).
+    pub fn write_payload(&mut self, now: SimTime, addr: u64, data: Payload) -> SimTime {
+        let len = data.len() as u64;
+        self.store.write_payload(addr, data);
+        self.book_write(now, len)
+    }
+
+    /// Timed + functional zero-copy read: returns the stored bytes as a
+    /// payload view; timing is identical to [`read`](Self::read).
+    pub fn read_payload(&mut self, now: SimTime, addr: u64, len: usize) -> (Payload, SimTime) {
+        let p = self.store.read_payload(addr, len);
+        (p, self.book_read(now, len as u64))
     }
 
     /// Total bytes moved in either direction.

@@ -44,17 +44,47 @@ impl SparseMemory {
     /// Write `data` starting at byte address `addr`.
     pub fn write(&mut self, addr: u64, data: &[u8]) {
         self.bytes_written += data.len() as u64;
+        let mut page_no = addr / PAGE_SIZE as u64;
+        let mut page_off = (addr % PAGE_SIZE as u64) as usize;
         let mut off = 0usize;
         while off < data.len() {
-            let a = addr + off as u64;
+            let n = (PAGE_SIZE - page_off).min(data.len() - off);
+            if n == PAGE_SIZE {
+                // Full-page overwrite: build the page straight from the
+                // source instead of zero-initialising it first.
+                let page: [u8; PAGE_SIZE] = data[off..off + n].try_into().expect("full page");
+                self.pages.insert(page_no, Box::new(page));
+            } else {
+                let page = self
+                    .pages
+                    .entry(page_no)
+                    .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+                page[page_off..page_off + n].copy_from_slice(&data[off..off + n]);
+            }
+            off += n;
+            page_no += 1;
+            page_off = 0;
+        }
+    }
+
+    /// Fill `[addr, addr + len)` with the deterministic pattern generator
+    /// [`snacc_sim::bytes::pattern_byte`]`(seed, i)` for `i` in `0..len` —
+    /// page-wise in place, with no intermediate staging buffer.
+    pub fn fill_pattern(&mut self, addr: u64, len: u64, seed: u64) {
+        self.bytes_written += len;
+        let mut off = 0u64;
+        while off < len {
+            let a = addr + off;
             let page_no = a / PAGE_SIZE as u64;
             let page_off = (a % PAGE_SIZE as u64) as usize;
-            let n = (PAGE_SIZE - page_off).min(data.len() - off);
+            let n = ((PAGE_SIZE - page_off) as u64).min(len - off);
             let page = self
                 .pages
                 .entry(page_no)
                 .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-            page[page_off..page_off + n].copy_from_slice(&data[off..off + n]);
+            for (i, b) in page[page_off..page_off + n as usize].iter_mut().enumerate() {
+                *b = snacc_sim::bytes::pattern_byte(seed, off + i as u64);
+            }
             off += n;
         }
     }
@@ -63,18 +93,31 @@ impl SparseMemory {
     /// come back as zero.
     pub fn read(&mut self, addr: u64, out: &mut [u8]) {
         self.bytes_read += out.len() as u64;
+        self.read_into(addr, out);
+    }
+
+    /// Read into `out`, returning how many bytes came from resident pages.
+    /// Untouched pages never allocate — they zero the output in place —
+    /// and a fully-untouched span is detectable from the `0` return.
+    pub fn read_into(&mut self, addr: u64, out: &mut [u8]) -> usize {
+        let mut resident = 0usize;
+        let mut page_no = addr / PAGE_SIZE as u64;
+        let mut page_off = (addr % PAGE_SIZE as u64) as usize;
         let mut off = 0usize;
         while off < out.len() {
-            let a = addr + off as u64;
-            let page_no = a / PAGE_SIZE as u64;
-            let page_off = (a % PAGE_SIZE as u64) as usize;
             let n = (PAGE_SIZE - page_off).min(out.len() - off);
             match self.pages.get(&page_no) {
-                Some(page) => out[off..off + n].copy_from_slice(&page[page_off..page_off + n]),
+                Some(page) => {
+                    out[off..off + n].copy_from_slice(&page[page_off..page_off + n]);
+                    resident += n;
+                }
                 None => out[off..off + n].fill(0),
             }
             off += n;
+            page_no += 1;
+            page_off = 0;
         }
+        resident
     }
 
     /// Convenience: read `len` bytes into a fresh vector.
@@ -173,6 +216,40 @@ mod tests {
         m.write(0, b"hello world");
         m.copy_within(0, 1 << 20, 11);
         assert_eq!(m.read_vec(1 << 20, 11), b"hello world");
+    }
+
+    #[test]
+    fn read_into_reports_resident_bytes() {
+        let mut m = SparseMemory::new();
+        m.write(PAGE_SIZE as u64, &[3u8; 16]);
+        let mut out = vec![0xffu8; 2 * PAGE_SIZE];
+        let resident = m.read_into(0, &mut out);
+        assert_eq!(resident, PAGE_SIZE, "only the written page is resident");
+        assert_eq!(&out[..PAGE_SIZE], &vec![0u8; PAGE_SIZE][..]);
+        assert_eq!(&out[PAGE_SIZE..PAGE_SIZE + 16], &[3u8; 16]);
+        assert_eq!(m.resident_pages(), 1, "reads must not allocate pages");
+    }
+
+    #[test]
+    fn fill_pattern_matches_generator() {
+        let mut m = SparseMemory::new();
+        let addr = PAGE_SIZE as u64 - 10;
+        m.fill_pattern(addr, 100, 0xfeed);
+        let got = m.read_vec(addr, 100);
+        let want: Vec<u8> = (0u64..100)
+            .map(|i| snacc_sim::bytes::pattern_byte(0xfeed, i))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn full_page_write_fast_path() {
+        let mut m = SparseMemory::new();
+        let data: Vec<u8> = (0..2 * PAGE_SIZE + 100).map(|i| i as u8).collect();
+        let addr = PAGE_SIZE as u64 - 50;
+        m.write(addr, &data);
+        assert_eq!(m.read_vec(addr, data.len()), data);
+        assert_eq!(m.resident_pages(), 4);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! compared to the 64 MB DRAM buffer".
 
 use crate::dram::MemDir;
-use crate::sparse::SparseMemory;
+use crate::segment::SegmentMemory;
+use snacc_sim::bytes::Payload;
 use snacc_sim::{Bandwidth, SharedLink, SimDuration, SimTime};
 
 /// URAM buffer parameters.
@@ -38,7 +39,7 @@ impl UramConfig {
 /// functional store.
 pub struct UramModel {
     cfg: UramConfig,
-    store: SparseMemory,
+    store: SegmentMemory,
     read_port: SharedLink,
     write_port: SharedLink,
 }
@@ -52,7 +53,7 @@ impl UramModel {
             SharedLink::new(format!("{name}.wr"), cfg.port_bandwidth, cfg.access_latency);
         UramModel {
             cfg,
-            store: SparseMemory::new(),
+            store: SegmentMemory::new(),
             read_port,
             write_port,
         }
@@ -74,7 +75,7 @@ impl UramModel {
     }
 
     /// Direct functional access (no timing).
-    pub fn store_mut(&mut self) -> &mut SparseMemory {
+    pub fn store_mut(&mut self) -> &mut SegmentMemory {
         &mut self.store
     }
 
@@ -110,6 +111,23 @@ impl UramModel {
         self.check_bounds(addr, out.len() as u64);
         self.store.read(addr, out);
         self.read_port.transfer(now, out.len() as u64)
+    }
+
+    /// Timed + functional zero-copy write: the store retains the payload
+    /// window; timing is identical to [`write`](Self::write).
+    pub fn write_payload(&mut self, now: SimTime, addr: u64, data: Payload) -> SimTime {
+        let len = data.len() as u64;
+        self.check_bounds(addr, len);
+        self.store.write_payload(addr, data);
+        self.write_port.transfer(now, len)
+    }
+
+    /// Timed + functional zero-copy read: returns the stored bytes as a
+    /// payload view; timing is identical to [`read`](Self::read).
+    pub fn read_payload(&mut self, now: SimTime, addr: u64, len: usize) -> (Payload, SimTime) {
+        self.check_bounds(addr, len as u64);
+        let p = self.store.read_payload(addr, len);
+        (p, self.read_port.transfer(now, len as u64))
     }
 }
 

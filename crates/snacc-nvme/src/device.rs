@@ -962,11 +962,12 @@ fn exec_io_inner(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16, sqe: S
             // Media first; delivery is scheduled at media-ready time so
             // that commands book the return link in *completion* order —
             // this is what lets fast commands overtake slow ones and
-            // produces genuinely out-of-order CQEs.
-            let mut data = vec![0u8; byte_len as usize];
-            let t_media = {
+            // produces genuinely out-of-order CQEs. The media hands back a
+            // zero-copy payload view; lazy fill/pattern segments are never
+            // materialised on this path.
+            let (data, t_media) = {
                 let mut d = rc.borrow_mut();
-                d.nand.read(t_prp, byte_addr, &mut data)
+                d.nand.read_payload(t_prp, byte_addr, byte_len)
             };
             if trace::enabled() {
                 trace::span_between(
@@ -1005,11 +1006,15 @@ fn exec_io_inner(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16, sqe: S
                 let mut failed = false;
                 let n_segs = segs.len() as u64;
                 for (k, seg) in segs.iter().enumerate() {
-                    let chunk = &data[off..off + seg.len as usize];
+                    let chunk = data.slice(off..off + seg.len as usize);
                     let issue = readout_start + spread * (k as u64 + 1) / n_segs.max(1);
-                    let r = fabric
-                        .borrow_mut()
-                        .write_at(en, issue.max(now), node, seg.addr, chunk);
+                    let r = fabric.borrow_mut().write_payload_at(
+                        en,
+                        issue.max(now),
+                        node,
+                        seg.addr,
+                        chunk,
+                    );
                     match r {
                         Ok(done) => t = t.max(done),
                         Err(_) => {
@@ -1037,11 +1042,13 @@ fn exec_io_inner(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16, sqe: S
             });
         }
         IoOpcode::Write => {
-            // Credit-windowed data fetch, then cache admission.
-            let mut data = vec![0u8; byte_len as usize];
+            // Credit-windowed data fetch, then cache admission. Fetched
+            // segments stay zero-copy payload windows end-to-end: the
+            // fabric hands back views of the source buffer's segment
+            // store and the media retains them as-is.
+            let mut parts: Vec<snacc_sim::bytes::Payload> = Vec::with_capacity(segs.len());
             let mut t_issue = t_prp;
             let mut t_data = t_prp;
-            let mut off = 0usize;
             let mut failed = false;
             for seg in &segs {
                 // Which credit pool does this segment draw from?
@@ -1073,15 +1080,16 @@ fn exec_io_inner(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16, sqe: S
                         t_issue += stall;
                     }
                 }
-                let r = fabric.borrow_mut().read_at(
+                let r = fabric.borrow_mut().read_payload_at(
                     en,
                     t_issue.max(en.now()),
                     node,
                     seg.addr,
-                    &mut data[off..off + seg.len as usize],
+                    seg.len,
                 );
                 match r {
-                    Ok(done) => {
+                    Ok((chunk, done)) => {
+                        parts.push(chunk);
                         t_data = t_data.max(done);
                         let mut d = rc.borrow_mut();
                         let ring = if is_host {
@@ -1096,7 +1104,6 @@ fn exec_io_inner(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16, sqe: S
                         break;
                     }
                 }
-                off += seg.len as usize;
             }
             if failed {
                 let out = CqeOut {
@@ -1118,7 +1125,7 @@ fn exec_io_inner(rc: &Rc<RefCell<NvmeDevice>>, en: &mut Engine, qid: u16, sqe: S
             en.schedule_at(t_data.max(en.now()), move |en| {
                 let t_admit = {
                     let mut d = rc2.borrow_mut();
-                    let t = d.nand.write(en.now(), byte_addr, &data, random_hint);
+                    let t = d.nand.write_parts(en.now(), byte_addr, parts, random_hint);
                     d.stats.write_cmds += 1;
                     d.stats.write_bytes += byte_len;
                     t

@@ -19,7 +19,8 @@
 //!   cache fills, which couples sustained write bandwidth to the program
 //!   rate.
 
-use snacc_mem::SparseMemory;
+use snacc_mem::SegmentMemory;
+use snacc_sim::bytes::Payload;
 use snacc_sim::{Bandwidth, SharedLink, SimDuration, SimRng, SimTime};
 use std::collections::{HashMap, VecDeque};
 
@@ -119,7 +120,7 @@ impl ProgramEngine {
 /// The storage backend: functional media + timing model.
 pub struct NandBackend {
     cfg: NandConfig,
-    media: SparseMemory,
+    media: SegmentMemory,
     die_free: Vec<SimTime>,
     channels: Vec<SharedLink>,
     readout: SharedLink,
@@ -165,7 +166,7 @@ impl NandBackend {
             rng: SimRng::new(seed ^ 0x5a5a_1234),
             media_reads: 0,
             media_writes: 0,
-            media: SparseMemory::new(),
+            media: SegmentMemory::new(),
             cfg,
         }
     }
@@ -196,23 +197,17 @@ impl NandBackend {
     }
 
     /// Direct functional media access (tests, pre-population).
-    pub fn media_mut(&mut self) -> &mut SparseMemory {
+    pub fn media_mut(&mut self) -> &mut SegmentMemory {
         &mut self.media
     }
 
-    /// Pre-populate an extent with patterned data and mark it
-    /// pSLC-resident, without disturbing any timing state — benchmark
-    /// preconditioning (the paper's random-read benchmark reads data its
-    /// own write phase placed in the drive's cache region).
+    /// Pre-populate an extent with fill data and mark it pSLC-resident,
+    /// without disturbing any timing state — benchmark preconditioning
+    /// (the paper's random-read benchmark reads data its own write phase
+    /// placed in the drive's cache region). The fill lands as lazy shared
+    /// segments: O(len / 1 MiB) metadata, no bytes allocated until read.
     pub fn prewarm(&mut self, addr: u64, len: u64, fill: u8) {
-        const CHUNK: usize = 1 << 20;
-        let mut off = 0u64;
-        let buf = vec![fill; CHUNK];
-        while off < len {
-            let n = CHUNK.min((len - off) as usize);
-            self.media.write(addr + off, &buf[..n]);
-            off += n as u64;
-        }
+        self.media.fill(addr, len, fill);
         self.mark_warm(addr, len);
     }
 
@@ -274,12 +269,27 @@ impl NandBackend {
         assert!(self.in_bounds(addr, out.len() as u64), "media read OOB");
         self.media.read(addr, out);
         self.media_reads += out.len() as u64;
+        self.read_timing(now, addr, out.len() as u64)
+    }
+
+    /// Zero-copy read: return the media bytes as a [`Payload`] view plus
+    /// the media-ready time. Timing is identical to [`read`](Self::read);
+    /// the returned payload shares the stored segments' backings (lazy
+    /// prewarm fill stays lazy end-to-end).
+    pub fn read_payload(&mut self, now: SimTime, addr: u64, len: u64) -> (Payload, SimTime) {
+        assert!(self.in_bounds(addr, len), "media read OOB");
+        let p = self.media.read_payload(addr, len as usize);
+        self.media_reads += len;
+        (p, self.read_timing(now, addr, len))
+    }
+
+    fn read_timing(&mut self, now: SimTime, addr: u64, len: u64) -> SimTime {
         let t0 = self.book_cmd(now);
         // Page-wise: each page read occupies its die for tR, then moves
         // over its NAND channel into controller SRAM.
         let mut done = t0;
         let mut cur = addr;
-        let end = addr + out.len() as u64;
+        let end = addr + len;
         while cur < end {
             let page_end = (cur / self.cfg.page_bytes + 1) * self.cfg.page_bytes;
             let n = page_end.min(end) - cur;
@@ -311,8 +321,33 @@ impl NandBackend {
     pub fn write(&mut self, now: SimTime, addr: u64, data: &[u8], random_hint: bool) -> SimTime {
         assert!(self.in_bounds(addr, data.len() as u64), "media write OOB");
         self.media.write(addr, data);
-        self.media_writes += data.len() as u64;
-        let len = data.len() as u64;
+        self.write_timing(now, addr, data.len() as u64, random_hint)
+    }
+
+    /// Zero-copy write: retain `parts` (in address order, back-to-back
+    /// from `addr`) as media segments. Timing is identical to
+    /// [`write`](Self::write) of the concatenated bytes; the media keeps
+    /// the payload windows, so lazy synthetic data is never materialised.
+    pub fn write_parts(
+        &mut self,
+        now: SimTime,
+        addr: u64,
+        parts: Vec<Payload>,
+        random_hint: bool,
+    ) -> SimTime {
+        let len: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        assert!(self.in_bounds(addr, len), "media write OOB");
+        let mut off = 0u64;
+        for p in parts {
+            let n = p.len() as u64;
+            self.media.write_payload(addr + off, p);
+            off += n;
+        }
+        self.write_timing(now, addr, len, random_hint)
+    }
+
+    fn write_timing(&mut self, now: SimTime, addr: u64, len: u64, random_hint: bool) -> SimTime {
+        self.media_writes += len;
         self.mark_warm(addr, len);
         let t0 = self.book_cmd(now);
 

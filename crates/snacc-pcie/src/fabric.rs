@@ -565,6 +565,162 @@ impl PcieFabric {
         Ok(done)
     }
 
+    /// Zero-copy variant of [`read_at`](Self::read_at): the target returns
+    /// the bytes as a [`snacc_sim::bytes::Payload`] view of its segment
+    /// store instead of filling a caller buffer. Timing, fault injection,
+    /// TLP accounting and tracing are identical to the byte path.
+    pub fn read_payload_at(
+        &mut self,
+        en: &mut Engine,
+        start: SimTime,
+        requester: NodeId,
+        addr: u64,
+        len: u64,
+    ) -> Result<(snacc_sim::bytes::Payload, SimTime), PcieError> {
+        debug_assert!(start >= en.now());
+        self.check_iommu(requester, addr, len)?;
+        let (offset, target_node, target) = self.decode(addr, len)?;
+        if requester == target_node {
+            return Err(PcieError::LocalAccess);
+        }
+        if self.draw_timeout(en, start, len, addr) {
+            return Err(PcieError::CompletionTimeout { requester, addr });
+        }
+        let p2p = requester != HOST_NODE && target_node != HOST_NODE;
+        let mps = self.mps_for(requester, target_node);
+        self.payload.record(len);
+        self.payload_meter.record(len);
+
+        // Request phase: header-only TLP towards the target (control
+        // traffic: interleaves, never queues behind bulk data).
+        let mut t = start;
+        if requester != HOST_NODE {
+            t = self.devices[requester.0 - 1]
+                .up
+                .transfer_interleaved(t, READ_REQUEST_BYTES);
+        }
+        if p2p {
+            t += self.rc_forward;
+        }
+        if target_node != HOST_NODE {
+            t = self.devices[target_node.0 - 1]
+                .down
+                .transfer_interleaved(t, READ_REQUEST_BYTES);
+        }
+
+        // Service at the target.
+        let (data, service) = target
+            .borrow_mut()
+            .read_payload(en, t, offset, len as usize);
+        t += service;
+
+        // Completion phase: data flows back to the requester. Small
+        // completions interleave; bulk data queues on the links.
+        let wire = wire_bytes(len, mps);
+        let small = len <= CTRL_TLP_BYTES;
+        if target_node != HOST_NODE {
+            let l = &mut self.devices[target_node.0 - 1].up;
+            t = if small {
+                l.transfer_interleaved(t, wire)
+            } else {
+                l.transfer(t, wire)
+            };
+        }
+        if p2p {
+            t += self.rc_forward;
+        }
+        if requester != HOST_NODE {
+            let l = &mut self.devices[requester.0 - 1].down;
+            t = if small {
+                l.transfer_interleaved(t, wire)
+            } else {
+                l.transfer(t, wire)
+            };
+        }
+        t = self.degrade(start, len, t);
+        if !small && trace::enabled() {
+            let dev = if requester != HOST_NODE {
+                requester
+            } else {
+                target_node
+            };
+            trace::span_between(
+                &format!("pcie.{}", self.devices[dev.0 - 1].name),
+                "tlp.read",
+                start,
+                t,
+                &[("addr", addr), ("len", len)],
+            );
+        }
+        Ok((data, t))
+    }
+
+    /// Zero-copy variant of [`write_at`](Self::write_at): the target
+    /// retains the [`snacc_sim::bytes::Payload`] window in its segment
+    /// store instead of copying from a caller buffer. Timing, fault
+    /// injection, TLP accounting and tracing are identical to the byte
+    /// path.
+    pub fn write_payload_at(
+        &mut self,
+        en: &mut Engine,
+        start: SimTime,
+        requester: NodeId,
+        addr: u64,
+        data: snacc_sim::bytes::Payload,
+    ) -> Result<SimTime, PcieError> {
+        debug_assert!(start >= en.now());
+        let len = data.len() as u64;
+        self.check_iommu(requester, addr, len)?;
+        let (offset, target_node, target) = self.decode(addr, len)?;
+        if requester == target_node {
+            return Err(PcieError::LocalAccess);
+        }
+        let p2p = requester != HOST_NODE && target_node != HOST_NODE;
+        let mps = self.mps_for(requester, target_node);
+        let wire = wire_bytes(len, mps);
+        let small = len <= CTRL_TLP_BYTES;
+        self.payload.record(len);
+        self.payload_meter.record(len);
+
+        let mut t = start;
+        if requester != HOST_NODE {
+            let l = &mut self.devices[requester.0 - 1].up;
+            t = if small {
+                l.transfer_interleaved(t, wire)
+            } else {
+                l.transfer(t, wire)
+            };
+        }
+        if p2p {
+            t += self.rc_forward;
+        }
+        if target_node != HOST_NODE {
+            let l = &mut self.devices[target_node.0 - 1].down;
+            t = if small {
+                l.transfer_interleaved(t, wire)
+            } else {
+                l.transfer(t, wire)
+            };
+        }
+        let service = target.borrow_mut().write_payload(en, t, offset, data);
+        let done = self.degrade(start, len, t + service);
+        if !small && trace::enabled() {
+            let dev = if requester != HOST_NODE {
+                requester
+            } else {
+                target_node
+            };
+            trace::span_between(
+                &format!("pcie.{}", self.devices[dev.0 - 1].name),
+                "tlp.write",
+                start,
+                done,
+                &[("addr", addr), ("len", len)],
+            );
+        }
+        Ok(done)
+    }
+
     /// Convenience: 32-bit register read (host driver MMIO).
     pub fn read_u32(
         &mut self,

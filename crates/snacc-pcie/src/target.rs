@@ -8,6 +8,7 @@
 //! engine handle.
 
 use snacc_mem::{DramController, HostMemory, SparseMemory, UramModel};
+use snacc_sim::bytes::Payload;
 use snacc_sim::{Engine, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -31,6 +32,34 @@ pub trait MmioTarget {
     /// Absorb a write of `data` at `offset`. Returns the service latency.
     fn write(&mut self, en: &mut Engine, arrival: SimTime, offset: u64, data: &[u8])
         -> SimDuration;
+
+    /// Serve a read of `len` bytes at `offset` as a zero-copy [`Payload`].
+    /// The default materialises through [`read`](Self::read); memory-backed
+    /// targets override it to hand out views of their segment store.
+    fn read_payload(
+        &mut self,
+        en: &mut Engine,
+        arrival: SimTime,
+        offset: u64,
+        len: usize,
+    ) -> (Payload, SimDuration) {
+        let mut buf = vec![0u8; len];
+        let lat = self.read(en, arrival, offset, &mut buf);
+        (Payload::from_vec(buf), lat)
+    }
+
+    /// Absorb a write of a [`Payload`] at `offset`. The default
+    /// materialises through [`write`](Self::write); memory-backed targets
+    /// override it to retain the window without copying.
+    fn write_payload(
+        &mut self,
+        en: &mut Engine,
+        arrival: SimTime,
+        offset: u64,
+        data: Payload,
+    ) -> SimDuration {
+        self.write(en, arrival, offset, data.as_slice())
+    }
 }
 
 /// Host DRAM exposed as a fabric target.
@@ -76,6 +105,30 @@ impl MmioTarget for HostMemTarget {
         let done = m.write(arrival, self.base + offset, data);
         done.since(arrival)
     }
+
+    fn read_payload(
+        &mut self,
+        _en: &mut Engine,
+        arrival: SimTime,
+        offset: u64,
+        len: usize,
+    ) -> (Payload, SimDuration) {
+        let mut m = self.mem.borrow_mut();
+        let (p, done) = m.read_payload(arrival, self.base + offset, len);
+        (p, done.since(arrival))
+    }
+
+    fn write_payload(
+        &mut self,
+        _en: &mut Engine,
+        arrival: SimTime,
+        offset: u64,
+        data: Payload,
+    ) -> SimDuration {
+        let mut m = self.mem.borrow_mut();
+        let done = m.write_payload(arrival, self.base + offset, data);
+        done.since(arrival)
+    }
 }
 
 /// A URAM buffer exposed through an FPGA BAR window.
@@ -116,6 +169,30 @@ impl MmioTarget for UramTarget {
     ) -> SimDuration {
         let mut u = self.uram.borrow_mut();
         let done = u.write(arrival, offset, data);
+        done.since(arrival)
+    }
+
+    fn read_payload(
+        &mut self,
+        _en: &mut Engine,
+        arrival: SimTime,
+        offset: u64,
+        len: usize,
+    ) -> (Payload, SimDuration) {
+        let mut u = self.uram.borrow_mut();
+        let (p, done) = u.read_payload(arrival, offset, len);
+        (p, done.since(arrival))
+    }
+
+    fn write_payload(
+        &mut self,
+        _en: &mut Engine,
+        arrival: SimTime,
+        offset: u64,
+        data: Payload,
+    ) -> SimDuration {
+        let mut u = self.uram.borrow_mut();
+        let done = u.write_payload(arrival, offset, data);
         done.since(arrival)
     }
 }
@@ -160,6 +237,30 @@ impl MmioTarget for DramTarget {
     ) -> SimDuration {
         let mut d = self.dram.borrow_mut();
         let done = d.write(arrival, self.window_base + offset, data);
+        done.since(arrival)
+    }
+
+    fn read_payload(
+        &mut self,
+        _en: &mut Engine,
+        arrival: SimTime,
+        offset: u64,
+        len: usize,
+    ) -> (Payload, SimDuration) {
+        let mut d = self.dram.borrow_mut();
+        let (p, done) = d.read_payload(arrival, self.window_base + offset, len);
+        (p, done.since(arrival))
+    }
+
+    fn write_payload(
+        &mut self,
+        _en: &mut Engine,
+        arrival: SimTime,
+        offset: u64,
+        data: Payload,
+    ) -> SimDuration {
+        let mut d = self.dram.borrow_mut();
+        let done = d.write_payload(arrival, self.window_base + offset, data);
         done.since(arrival)
     }
 }

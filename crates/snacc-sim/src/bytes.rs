@@ -51,10 +51,26 @@ pub fn pattern_byte(seed: u64, offset: u64) -> u8 {
     (x ^ (x >> 7) ^ 0x5a) as u8
 }
 
+/// A lazily materialised constant-fill segment: every byte is `byte`,
+/// allocated once on first access and shared by every clone/slice.
+struct FillSeg {
+    byte: u8,
+    total_len: usize,
+    cache: OnceCell<Box<[u8]>>,
+}
+
+impl FillSeg {
+    fn bytes(&self) -> &[u8] {
+        self.cache
+            .get_or_init(|| vec![self.byte; self.total_len].into_boxed_slice())
+    }
+}
+
 #[derive(Clone)]
 enum Repr {
     Bytes(Rc<[u8]>),
     Pattern(Rc<PatternSeg>),
+    Fill(Rc<FillSeg>),
 }
 
 /// An immutable, cheaply-cloneable byte buffer: shared backing storage
@@ -114,6 +130,23 @@ impl Payload {
         }
     }
 
+    /// A lazily allocated constant-fill segment of `len` bytes, each equal
+    /// to `byte`. Nothing is allocated until the bytes are first read; all
+    /// clones and slices share one materialisation. Functional media uses
+    /// this for reads of never-written (zero) extents and for prewarmed
+    /// fill data, so untouched gigabytes stay metadata-only.
+    pub fn fill(byte: u8, len: usize) -> Payload {
+        Payload {
+            repr: Repr::Fill(Rc::new(FillSeg {
+                byte,
+                total_len: len,
+                cache: OnceCell::new(),
+            })),
+            off: 0,
+            len,
+        }
+    }
+
     /// Window length in bytes.
     #[inline]
     pub fn len(&self) -> usize {
@@ -133,6 +166,7 @@ impl Payload {
         match &self.repr {
             Repr::Bytes(b) => &b[self.off..self.off + self.len],
             Repr::Pattern(p) => &p.bytes()[self.off..self.off + self.len],
+            Repr::Fill(s) => &s.bytes()[self.off..self.off + self.len],
         }
     }
 
@@ -193,6 +227,22 @@ impl Payload {
     /// Copy the window out into an owned `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
+    }
+
+    /// Zero-copy join: if `next` continues this window in the same backing
+    /// buffer, return the merged window; otherwise `None` (no copying is
+    /// ever performed). The segment store uses this to re-coalesce writes
+    /// that an upstream producer carved out of one large buffer.
+    pub fn try_join(&self, next: &Payload) -> Option<Payload> {
+        if same_backing(&self.repr, &next.repr) && next.off == self.off + self.len {
+            Some(Payload {
+                repr: self.repr.clone(),
+                off: self.off,
+                len: self.len + next.len,
+            })
+        } else {
+            None
+        }
     }
 }
 
@@ -296,6 +346,7 @@ fn same_backing(a: &Repr, b: &Repr) -> bool {
     match (a, b) {
         (Repr::Bytes(x), Repr::Bytes(y)) => Rc::ptr_eq(x, y),
         (Repr::Pattern(x), Repr::Pattern(y)) => Rc::ptr_eq(x, y),
+        (Repr::Fill(x), Repr::Fill(y)) => Rc::ptr_eq(x, y),
         _ => false,
     }
 }
@@ -372,16 +423,19 @@ impl PartialEq<&[u8]> for Payload {
 
 impl fmt::Debug for Payload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let lazy = matches!(&self.repr, Repr::Pattern(p) if p.cache.get().is_none());
-        if lazy {
-            // Don't materialise a segment just to debug-print it.
-            if let Repr::Pattern(p) = &self.repr {
+        // Don't materialise a lazy segment just to debug-print it.
+        match &self.repr {
+            Repr::Pattern(p) if p.cache.get().is_none() => {
                 return write!(
                     f,
                     "Payload::pattern(seed={:#x}, off={}, len={})",
                     p.seed, self.off, self.len
                 );
             }
+            Repr::Fill(s) if s.cache.get().is_none() => {
+                return write!(f, "Payload::fill(byte={:#04x}, len={})", s.byte, self.len);
+            }
+            _ => {}
         }
         write!(f, "Payload({} B: {:02x?})", self.len, {
             let s = self.as_slice();
@@ -470,6 +524,35 @@ mod tests {
         assert_eq!(s.as_slice(), &expect[..]);
         // Clones observe the same materialisation.
         assert_eq!(p.slice(100..108), s);
+    }
+
+    #[test]
+    fn fill_is_lazy_and_shared() {
+        let p = Payload::fill(0xa5, 4096);
+        // Not materialised yet (Debug must not force it).
+        let dbg = format!("{p:?}");
+        assert!(dbg.contains("fill"), "{dbg}");
+        let s = p.slice(100..108);
+        assert_eq!(s.as_slice(), &[0xa5; 8]);
+        // Clones observe the same materialisation.
+        assert_eq!(p.slice(0..4).as_slice(), &[0xa5; 4]);
+    }
+
+    #[test]
+    fn try_join_merges_adjacent_same_backing() {
+        let p = Payload::from_vec((0u8..64).collect());
+        let (a, b) = p.split_at(17);
+        let joined = a.try_join(&b).expect("adjacent");
+        assert!(same_backing(&joined.repr, &p.repr));
+        assert_eq!(joined, p);
+        // Non-adjacent or different backing: no join, no copy.
+        assert!(b.try_join(&a).is_none());
+        assert!(a.try_join(&Payload::from_vec(vec![0; 4])).is_none());
+        // Fill segments join only within one shared backing.
+        let f = Payload::fill(0, 32);
+        let (fa, fb) = f.split_at(10);
+        assert_eq!(fa.try_join(&fb).expect("same fill backing"), f);
+        assert!(fa.try_join(&Payload::fill(0, 8)).is_none());
     }
 
     #[test]

@@ -23,6 +23,7 @@ use snacc_nvme::spec::{self, AdminOpcode, Cqe, IoOpcode, Sqe, Status};
 use snacc_nvme::NvmeDeviceHandle;
 use snacc_pcie::target::NotifyTarget;
 use snacc_pcie::{PcieFabric, HOST_NODE};
+use snacc_sim::bytes::Payload;
 use snacc_sim::{Engine, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -390,9 +391,26 @@ impl SpdkNvme {
         self.submit(en, IoKind::Read, addr, len, None)
     }
 
-    /// Submit a write of `data` at byte address `addr`.
-    pub fn submit_write(&self, en: &mut Engine, addr: u64, data: &[u8]) -> Result<u16, SpdkError> {
-        self.submit(en, IoKind::Write, addr, data.len() as u64, Some(data))
+    /// Submit a write of a byte slice at byte address `addr` — the
+    /// ingestion point for caller-owned bytes: they are copied once into
+    /// a shared backing here, then flow zero-copy. Prefer
+    /// [`submit_write_payload`](Self::submit_write_payload) when the
+    /// caller already holds a [`Payload`].
+    pub fn submit_write(&self, en: &mut Engine, addr: u64, bytes: &[u8]) -> Result<u16, SpdkError> {
+        self.submit_write_payload(en, addr, Payload::from_vec(bytes.to_vec()))
+    }
+
+    /// Submit a write of a payload window at byte address `addr`. The slab
+    /// staging retains the window zero-copy — lazy pattern/fill payloads
+    /// stay lazy all the way into the functional media.
+    pub fn submit_write_payload(
+        &self,
+        en: &mut Engine,
+        addr: u64,
+        data: Payload,
+    ) -> Result<u16, SpdkError> {
+        let len = data.len() as u64;
+        self.submit(en, IoKind::Write, addr, len, Some(data))
     }
 
     fn submit(
@@ -401,7 +419,7 @@ impl SpdkNvme {
         kind: IoKind,
         addr: u64,
         len: u64,
-        data: Option<&[u8]>,
+        data: Option<Payload>,
     ) -> Result<u16, SpdkError> {
         assert!(
             addr.is_multiple_of(512) && len.is_multiple_of(512),
@@ -424,7 +442,10 @@ impl SpdkNvme {
             // producer writing in place).
             let slab_base = i.slabs[slot].segments()[0].base;
             if let Some(d) = data {
-                i.hostmem.borrow_mut().store_mut().write(slab_base, d);
+                i.hostmem
+                    .borrow_mut()
+                    .store_mut()
+                    .write_payload(slab_base, d);
             }
 
             // Build PRPs with a *stored* list page when needed.
